@@ -1,0 +1,80 @@
+"""§4.1 — the differential audit's headline findings.
+
+Regenerates the paper's key takeaways: pre-consent processing by all
+services, ATS sharing while logged out by all but YouTube, policy
+inconsistencies for all but YouTube, and near-identical age grids.
+"""
+
+from repro.audit.findings import FindingKind, Severity
+from repro.reporting.tables import render_table
+
+SERVICES = ("duolingo", "minecraft", "quizlet", "roblox", "tiktok", "youtube")
+
+
+def summarize_audits(result):
+    rows = []
+    for service in SERVICES:
+        report = result.audits[service]
+        by_severity = report.findings_by_severity()
+        child_similarity = next(
+            d.similarity for d in report.age_differentials if d.left.value == "child"
+        )
+        # "Data processing practices that were not disclosed in their
+        # privacy policy": a direct contradiction of a quoted
+        # commitment, or third-party sharing the policy never mentions.
+        strict_inconsistency = any(
+            finding.kind is FindingKind.POLICY_INCONSISTENCY
+            or (
+                finding.kind is FindingKind.UNDISCLOSED_FLOW
+                and finding.cell is not None
+                and finding.cell.is_share
+            )
+            for finding in report.findings
+        )
+        rows.append(
+            [
+                service,
+                str(len(report.findings)),
+                str(by_severity.get(Severity.HIGH, 0)),
+                "yes" if report.processed_before_consent else "no",
+                "yes" if report.shared_with_ats_before_consent else "no",
+                "yes" if strict_inconsistency else "no",
+                f"{child_similarity:.2f}",
+            ]
+        )
+    return rows
+
+
+def test_audit_findings(benchmark, result, save_artifact):
+    rows = benchmark(summarize_audits, result)
+    save_artifact(
+        "audit_findings.txt",
+        render_table(
+            [
+                "Service",
+                "Findings",
+                "High",
+                "Pre-consent",
+                "ATS@logged-out",
+                "Policy issues",
+                "Child≈Adult",
+            ],
+            rows,
+            "§4.1 Differential audit summary",
+        ),
+    )
+
+    by_service = {row[0]: row for row in rows}
+    for service in SERVICES:
+        # "All of the services engaged in data collection and/or
+        # sharing prior to consent and age disclosure."
+        assert by_service[service][3] == "yes", service
+        # "All but one of the services (YouTube) was observed sharing
+        # ... with third party ATS while logged-out."
+        assert by_service[service][4] == ("no" if service == "youtube" else "yes")
+        # "All but one of the services engaged in data processing
+        # practices that were not disclosed in their privacy policy."
+        assert by_service[service][5] == ("no" if service == "youtube" else "yes")
+        # "No service exhibited significantly different data processing
+        # treatment of the child ... compared to the adult users."
+        assert float(by_service[service][6]) >= 0.75, service

@@ -1,0 +1,48 @@
+"""Extension — CNAME-cloaking detection over the simulated universe.
+
+FQDN-level ATS labeling (the paper's §3.2.3 approach) misses trackers
+aliased behind first-party subdomains; the uncloaking pass catches
+them.  This benchmark quantifies the blind spot.
+"""
+
+from repro.destinations.cname import audit_cloaking, default_cloaked_zone
+from repro.destinations.party import DestinationLabeler
+from repro.reporting.tables import render_table
+from repro.services.catalog import service
+
+
+def _labeler_for(service_key):
+    spec = service(service_key)
+    return DestinationLabeler(
+        service_names=spec.first_party_names,
+        first_party_owner=spec.first_party_owner,
+    )
+
+
+def test_cname_cloaking_detection(benchmark, save_artifact):
+    verdicts = benchmark(audit_cloaking, _labeler_for)
+    zone = default_cloaked_zone()
+    rows = [
+        [
+            verdict.fqdn,
+            verdict.hidden_target or "",
+            verdict.apparent_party.value,
+            verdict.effective_party.value,
+            "yes" if verdict.evaded_blocklists else "no",
+        ]
+        for verdict in verdicts
+    ]
+    save_artifact(
+        "cname_cloaking.txt",
+        render_table(
+            ["Alias", "Hidden tracker", "Apparent", "Effective", "Evaded lists"],
+            rows,
+            "Extension: CNAME-cloaked trackers behind first-party subdomains",
+        ),
+    )
+    assert len(verdicts) == len(zone.cloaked_hosts)
+    assert all(v.cloaked for v in verdicts)
+    # Every cloak evades FQDN-level labeling — the blind spot.
+    assert all(v.evaded_blocklists for v in verdicts)
+    # Uncloaking reclassifies them all as ATS.
+    assert all(v.effective_party.is_ats for v in verdicts)

@@ -1,0 +1,57 @@
+"""§3.2.1 — contextual-integrity appropriateness of observed flows.
+
+The paper frames its audit as "a special case of appropriate
+information flows in the contextual integrity framework"; this
+benchmark materializes that framing: every observed flow judged
+against the COPPA/CCPA-derived norm set.
+"""
+
+from repro.audit.contextual import summarize
+from repro.model import TraceColumn
+from repro.reporting.tables import render_table
+
+SERVICES = ("duolingo", "minecraft", "quizlet", "roblox", "tiktok", "youtube")
+
+
+def judge_corpus(result):
+    rows = {}
+    for service in SERVICES:
+        observations = [
+            o for o in result.flows.observations() if o.service == service
+        ]
+        rows[service] = summarize(observations)
+    return rows
+
+
+def test_contextual_integrity(benchmark, result, save_artifact):
+    summaries = benchmark(judge_corpus, result)
+    save_artifact(
+        "contextual_integrity.txt",
+        render_table(
+            ["Service", "Appropriate", "Conditional", "Inappropriate", "Inappropriate %"],
+            [
+                [
+                    service,
+                    str(s.appropriate),
+                    str(s.conditional),
+                    str(s.inappropriate),
+                    f"{s.inappropriate_fraction:.1%}",
+                ]
+                for service, s in summaries.items()
+            ],
+            "Contextual-integrity judgment of observed flows",
+        ),
+    )
+
+    # Every service has some norm-violating flows (pre-consent at
+    # minimum) — the paper's headline.
+    for service, summary in summaries.items():
+        assert summary.inappropriate > 0, service
+    # YouTube is the least norm-violating service by fraction.
+    fractions = {
+        service: summary.inappropriate_fraction
+        for service, summary in summaries.items()
+    }
+    assert fractions["youtube"] == min(fractions.values())
+    # Quizlet ranks among the worst (it shares everything everywhere).
+    assert fractions["quizlet"] >= sorted(fractions.values())[-3]

@@ -1,0 +1,48 @@
+"""Shared benchmark fixtures.
+
+``REPRO_BENCH_SCALE`` (default 0.02) sets the traffic volume relative
+to the paper's Table 1; structural results (Table 4 grid, Figures 3/4)
+are scale-independent, while packet/flow volumes scale linearly.
+
+Every benchmark writes its rendered table/figure to
+``benchmarks/results/`` so a run leaves the full set of paper artifacts
+on disk.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import CorpusConfig, DiffAudit
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+
+
+@pytest.fixture(scope="session")
+def corpus_config() -> CorpusConfig:
+    return CorpusConfig(scale=bench_scale())
+
+
+@pytest.fixture(scope="session")
+def result(corpus_config):
+    """One full six-service DiffAudit run shared by all benchmarks."""
+    return DiffAudit(corpus_config).run()
+
+
+@pytest.fixture(scope="session")
+def save_artifact():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> Path:
+        path = RESULTS_DIR / name
+        path.write_text(text + "\n", encoding="utf-8")
+        return path
+
+    return _save

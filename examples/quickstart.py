@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: audit one general-audience service end to end.
+
+Runs the full DiffAudit methodology against the simulated TikTok
+service — traffic generation, capture, decryption, data type
+classification, destination analysis, differential audit, and
+linkability — and prints the audit summary.
+
+Usage::
+
+    python examples/quickstart.py [service] [scale]
+
+where ``service`` is one of duolingo, minecraft, quizlet, roblox,
+tiktok, youtube (default tiktok) and ``scale`` is the traffic volume
+relative to the paper's (default 0.01).
+"""
+
+import sys
+
+from repro import CorpusConfig, DiffAudit, TraceColumn
+
+
+def main() -> None:
+    service = sys.argv[1] if len(sys.argv) > 1 else "tiktok"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.01
+
+    print(f"Auditing {service!r} at scale {scale} ...")
+    result = DiffAudit(CorpusConfig(scale=scale, services=(service,))).run()
+
+    report = result.audits[service]
+    print()
+    for line in report.summary_lines():
+        print(line)
+
+    print("\nLinkability (third parties sent linkable data / largest set):")
+    for column in TraceColumn:
+        link = result.linkability[(service, column)]
+        print(
+            f"  {column.value:<11} {link.linkable_third_parties:>4} third parties, "
+            f"largest set {link.largest_set_size} data types"
+        )
+
+    print("\nTop findings:")
+    for finding in report.high_severity()[:8]:
+        print(f"  {finding.one_line()}")
+
+    stats = result.dataset.per_service[service]
+    print(
+        f"\nDataset: {stats.domain_count} domains, {stats.esld_count} eSLDs, "
+        f"{stats.packets:,} packets, {stats.tcp_flows:,} TCP flows"
+    )
+    print(f"Unique raw data types observed: {result.unique_data_types:,}")
+
+
+if __name__ == "__main__":
+    main()

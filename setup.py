@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660
+editable installs are unavailable; this shim lets ``pip install -e .``
+fall back to ``setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""DiffAudit reproduction — differential privacy-practice auditing of
+general-audience online services for children and adolescents.
+
+Reproduction of *DiffAudit: Auditing Privacy Practices of Online
+Services for Children and Adolescents* (Figueira, Trimananda,
+Markopoulou, Jordan — IMC 2024).
+
+Quickstart::
+
+    from repro import DiffAudit, CorpusConfig
+
+    result = DiffAudit(CorpusConfig(scale=0.02, services=("tiktok",))).run()
+    print(result.audits["tiktok"].summary_lines())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.model import (
+    AgeGroup,
+    FlowCell,
+    Platform,
+    Presence,
+    TraceColumn,
+    TraceKind,
+)
+from repro.ontology import ONTOLOGY
+from repro.ontology.nodes import Level2, Level3
+from repro.pipeline.diffaudit import DiffAudit, DiffAuditResult
+from repro.services.generator import CorpusConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AgeGroup",
+    "FlowCell",
+    "Platform",
+    "Presence",
+    "TraceColumn",
+    "TraceKind",
+    "ONTOLOGY",
+    "Level2",
+    "Level3",
+    "DiffAudit",
+    "DiffAuditResult",
+    "CorpusConfig",
+    "__version__",
+]

@@ -1,0 +1,54 @@
+"""The differential audit (paper §3.2.1, §4.1).
+
+* :mod:`repro.audit.policy` — machine-readable disclosure models of
+  each service's privacy policy (fall 2023 wording quoted in §4.1.2);
+* :mod:`repro.audit.laws` — the COPPA/CCPA rule engine deciding which
+  observed flows raise compliance concerns;
+* :mod:`repro.audit.findings` — finding records and severities;
+* :mod:`repro.audit.differential` — cross-age, consent-state and
+  platform differential analyses;
+* :mod:`repro.audit.report` — per-service and corpus audit reports.
+"""
+
+from repro.audit.findings import Finding, FindingKind, Severity
+from repro.audit.laws import LawAuditor
+from repro.audit.policy import PolicyModel, policy_for
+from repro.audit.differential import (
+    AgeDifferentialResult,
+    PlatformDifferenceResult,
+    compare_age_groups,
+    logged_out_flows,
+    platform_differences,
+)
+from repro.audit.report import ServiceAuditReport, audit_service
+from repro.audit.contextual import (
+    Appropriateness,
+    CiFlow,
+    ci_flow_for,
+    judge,
+    summarize,
+)
+from repro.audit.policytext import ParsedPolicy, parse_policy
+
+__all__ = [
+    "Appropriateness",
+    "CiFlow",
+    "ci_flow_for",
+    "judge",
+    "summarize",
+    "ParsedPolicy",
+    "parse_policy",
+    "Finding",
+    "FindingKind",
+    "Severity",
+    "LawAuditor",
+    "PolicyModel",
+    "policy_for",
+    "AgeDifferentialResult",
+    "PlatformDifferenceResult",
+    "compare_age_groups",
+    "logged_out_flows",
+    "platform_differences",
+    "ServiceAuditReport",
+    "audit_service",
+]

@@ -1,0 +1,182 @@
+"""Contextual-integrity framing of data flows (paper §3.2.1).
+
+"We determine the appropriateness of a data flow based on the user's
+age and logged-in/out status (i.e., indicating consent) in context
+with COPPA and CCPA.  This can be thought of as a special case of
+appropriate information flows in the contextual integrity framework."
+
+Contextual integrity (Nissenbaum 2009) judges information flows by
+five parameters: *sender*, *recipient*, *subject*, *information type*,
+and *transmission principle*.  This module maps DiffAudit flow
+observations into CI tuples and evaluates them against the
+COPPA/CCPA-derived norm set, yielding per-flow appropriateness
+judgments that complement the audit engine's findings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.destinations.party import PartyLabel
+from repro.flows.dataflow import FlowObservation
+from repro.model import TraceColumn
+from repro.ontology import ONTOLOGY
+
+
+class Recipient(str, enum.Enum):
+    """CI recipient roles, derived from the destination's party label."""
+
+    SERVICE_PROVIDER = "service provider"  # first party
+    SERVICE_ANALYTICS = "service analytics"  # first-party ATS
+    THIRD_PARTY_PROCESSOR = "third-party processor"  # third party
+    ADVERTISING_TRACKER = "advertising/tracking service"  # third-party ATS
+
+    @classmethod
+    def from_party(cls, party: PartyLabel) -> "Recipient":
+        return {
+            PartyLabel.FIRST_PARTY: cls.SERVICE_PROVIDER,
+            PartyLabel.FIRST_PARTY_ATS: cls.SERVICE_ANALYTICS,
+            PartyLabel.THIRD_PARTY: cls.THIRD_PARTY_PROCESSOR,
+            PartyLabel.THIRD_PARTY_ATS: cls.ADVERTISING_TRACKER,
+        }[party]
+
+
+class TransmissionPrinciple(str, enum.Enum):
+    """Under which principle the flow occurred."""
+
+    NO_CONSENT = "without consent or age knowledge"  # logged out
+    PARENTAL_OPT_IN_REQUIRED = "parental opt-in required"  # child
+    TEEN_OPT_IN_REQUIRED = "consumer opt-in required"  # adolescent
+    NOTICE_AND_CHOICE = "notice and choice"  # adult
+
+    @classmethod
+    def from_column(cls, column: TraceColumn) -> "TransmissionPrinciple":
+        return {
+            TraceColumn.LOGGED_OUT: cls.NO_CONSENT,
+            TraceColumn.CHILD: cls.PARENTAL_OPT_IN_REQUIRED,
+            TraceColumn.ADOLESCENT: cls.TEEN_OPT_IN_REQUIRED,
+            TraceColumn.ADULT: cls.NOTICE_AND_CHOICE,
+        }[column]
+
+
+class Appropriateness(str, enum.Enum):
+    APPROPRIATE = "appropriate"
+    CONDITIONAL = "conditional"  # appropriate only with valid opt-in
+    INAPPROPRIATE = "inappropriate"
+
+
+@dataclass(frozen=True)
+class CiFlow:
+    """One information flow as a contextual-integrity tuple."""
+
+    sender: str  # the user's device/app
+    recipient: Recipient
+    subject: str  # whose information: "child user", "adult user", …
+    information_type: str  # level-3 ontology label
+    principle: TransmissionPrinciple
+
+    def as_tuple(self) -> tuple[str, str, str, str, str]:
+        return (
+            self.sender,
+            self.recipient.value,
+            self.subject,
+            self.information_type,
+            self.principle.value,
+        )
+
+
+def ci_flow_for(observation: FlowObservation) -> CiFlow:
+    """Map a DiffAudit flow observation to its CI tuple."""
+    subject = (
+        "user of unknown age"
+        if observation.column is TraceColumn.LOGGED_OUT
+        else f"{observation.column.value} user"
+    )
+    return CiFlow(
+        sender=f"{observation.service} {observation.platform.value} client",
+        recipient=Recipient.from_party(observation.party),
+        subject=subject,
+        information_type=observation.level3.value,
+        principle=TransmissionPrinciple.from_column(observation.column),
+    )
+
+
+# Data types plausibly covered by COPPA's "support for internal
+# operations" exception when kept first-party.
+_INTERNAL_OPERATIONS_TYPES = frozenset(
+    {"Network Connection Information", "Service Information"}
+)
+
+
+def judge(flow: CiFlow) -> Appropriateness:
+    """COPPA/CCPA-derived norm set over CI tuples.
+
+    * Flows without consent or age knowledge: only internal-operations
+      data to the service provider itself is appropriate; identifiers
+      and personal information are at best conditional — and any flow
+      leaving the first party is inappropriate.
+    * Flows about protected-age users to advertising/tracking
+      recipients are inappropriate absent opt-in (ATS recipients
+      indicate purposes beyond internal operations).
+    * First-party flows post-consent are appropriate (notice given);
+      third-party processor flows are conditional on disclosures.
+    """
+    operational = flow.information_type in _INTERNAL_OPERATIONS_TYPES
+    if flow.principle is TransmissionPrinciple.NO_CONSENT:
+        if flow.recipient in (
+            Recipient.ADVERTISING_TRACKER,
+            Recipient.THIRD_PARTY_PROCESSOR,
+        ):
+            return Appropriateness.INAPPROPRIATE
+        if flow.recipient is Recipient.SERVICE_ANALYTICS:
+            return (
+                Appropriateness.CONDITIONAL
+                if operational
+                else Appropriateness.INAPPROPRIATE
+            )
+        return (
+            Appropriateness.APPROPRIATE
+            if operational
+            else Appropriateness.CONDITIONAL
+        )
+    protected = flow.principle in (
+        TransmissionPrinciple.PARENTAL_OPT_IN_REQUIRED,
+        TransmissionPrinciple.TEEN_OPT_IN_REQUIRED,
+    )
+    if flow.recipient is Recipient.ADVERTISING_TRACKER:
+        return Appropriateness.INAPPROPRIATE if protected else Appropriateness.CONDITIONAL
+    if flow.recipient is Recipient.THIRD_PARTY_PROCESSOR:
+        return Appropriateness.CONDITIONAL
+    return Appropriateness.APPROPRIATE
+
+
+@dataclass
+class CiSummary:
+    """Aggregate appropriateness across a service's flows."""
+
+    appropriate: int = 0
+    conditional: int = 0
+    inappropriate: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.appropriate + self.conditional + self.inappropriate
+
+    @property
+    def inappropriate_fraction(self) -> float:
+        return self.inappropriate / self.total if self.total else 0.0
+
+
+def summarize(observations: list[FlowObservation]) -> CiSummary:
+    """Judge every observation and aggregate."""
+    summary = CiSummary()
+    for observation in observations:
+        verdict = judge(ci_flow_for(observation))
+        if verdict is Appropriateness.APPROPRIATE:
+            summary.appropriate += 1
+        elif verdict is Appropriateness.CONDITIONAL:
+            summary.conditional += 1
+        else:
+            summary.inappropriate += 1
+    return summary

@@ -1,0 +1,119 @@
+"""Differential analyses across age groups, consent states, platforms.
+
+The heart of DiffAudit (paper step 4): compare data flows between the
+child/adolescent/adult columns, between logged-in and logged-out
+states, and between web and mobile platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.flows.dataflow import FlowTable
+from repro.model import AGE_COLUMNS, FlowCell, Presence, TraceColumn
+from repro.ontology.nodes import Level2
+
+_CELL_COUNT = len(Level2) * len(FlowCell)
+
+
+@dataclass(frozen=True)
+class CellDifference:
+    """One grid cell that differs between two columns."""
+
+    level2: Level2
+    cell: FlowCell
+    left: Presence
+    right: Presence
+
+
+@dataclass
+class AgeDifferentialResult:
+    """Grid comparison between two audit columns for one service."""
+
+    service: str
+    left: TraceColumn
+    right: TraceColumn
+    differences: list[CellDifference] = field(default_factory=list)
+    similarity: float = 1.0  # fraction of identical cells
+
+    @property
+    def identical(self) -> bool:
+        return not self.differences
+
+
+def compare_columns(
+    flows: FlowTable, service: str, left: TraceColumn, right: TraceColumn
+) -> AgeDifferentialResult:
+    """Cell-by-cell comparison of two columns' observed grids."""
+    result = AgeDifferentialResult(service=service, left=left, right=right)
+    same = 0
+    for level2 in Level2:
+        for cell in FlowCell:
+            left_presence = flows.presence(service, level2, left, cell)
+            right_presence = flows.presence(service, level2, right, cell)
+            if left_presence == right_presence:
+                same += 1
+            else:
+                result.differences.append(
+                    CellDifference(
+                        level2=level2,
+                        cell=cell,
+                        left=left_presence,
+                        right=right_presence,
+                    )
+                )
+    result.similarity = same / _CELL_COUNT
+    return result
+
+
+def compare_age_groups(flows: FlowTable, service: str) -> list[AgeDifferentialResult]:
+    """Child-vs-adult and adolescent-vs-adult comparisons (§4.1.2).
+
+    The paper's headline differential finding is that these come out
+    *similar* — services barely differentiate young users.
+    """
+    return [
+        compare_columns(flows, service, TraceColumn.CHILD, TraceColumn.ADULT),
+        compare_columns(flows, service, TraceColumn.ADOLESCENT, TraceColumn.ADULT),
+    ]
+
+
+def logged_out_flows(
+    flows: FlowTable, service: str
+) -> list[tuple[Level2, FlowCell, Presence]]:
+    """Everything observed pre-consent (§4.1.1)."""
+    out = []
+    for level2 in Level2:
+        for cell in FlowCell:
+            presence = flows.presence(service, level2, TraceColumn.LOGGED_OUT, cell)
+            if presence is not Presence.NONE:
+                out.append((level2, cell, presence))
+    return out
+
+
+@dataclass
+class PlatformDifferenceResult:
+    """Web-only and mobile-only flows for one service (§4.1.2)."""
+
+    service: str
+    web_only: list[tuple[Level2, TraceColumn, FlowCell]] = field(default_factory=list)
+    mobile_only: list[tuple[Level2, TraceColumn, FlowCell]] = field(default_factory=list)
+
+    @property
+    def mobile_only_all_third_party(self) -> bool:
+        """The paper's observation: mobile-only flows were all shares."""
+        return all(cell.is_share for (_, _, cell) in self.mobile_only)
+
+
+def platform_differences(flows: FlowTable, service: str) -> PlatformDifferenceResult:
+    """Flows observed on exactly one platform."""
+    result = PlatformDifferenceResult(service=service)
+    for level2 in Level2:
+        for column in (*AGE_COLUMNS, TraceColumn.LOGGED_OUT):
+            for cell in FlowCell:
+                presence = flows.presence(service, level2, column, cell)
+                if presence is Presence.WEB_ONLY:
+                    result.web_only.append((level2, column, cell))
+                elif presence is Presence.MOBILE_ONLY:
+                    result.mobile_only.append((level2, column, cell))
+    return result

@@ -1,0 +1,46 @@
+"""Finding records produced by the audit engine."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.model import FlowCell, TraceColumn
+from repro.ontology.nodes import Level2
+
+
+class Severity(str, enum.Enum):
+    INFO = "info"
+    CONCERN = "concern"  # warrants further investigation (paper's bar)
+    HIGH = "high"  # direct tension with a legal requirement
+
+
+class FindingKind(str, enum.Enum):
+    PRE_CONSENT_COLLECTION = "pre_consent_collection"
+    PRE_CONSENT_SHARING = "pre_consent_sharing"
+    PROTECTED_AGE_ATS_SHARING = "protected_age_ats_sharing"
+    UNDISCLOSED_FLOW = "undisclosed_flow"
+    POLICY_INCONSISTENCY = "policy_inconsistency"
+    NO_AGE_DIFFERENTIATION = "no_age_differentiation"
+    LINKABLE_SHARING = "linkable_sharing"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One audit finding with its evidence."""
+
+    kind: FindingKind
+    severity: Severity
+    law: str  # "COPPA", "CCPA", "COPPA/CCPA", or "policy"
+    service: str
+    column: TraceColumn
+    description: str
+    level2: Level2 | None = None
+    cell: FlowCell | None = None
+    evidence_fqdns: tuple[str, ...] = field(default=())
+    evidence_types: tuple[str, ...] = field(default=())
+
+    def one_line(self) -> str:
+        scope = f"{self.service}/{self.column.value}"
+        where = f" [{self.level2.value}→{self.cell.value}]" if self.level2 and self.cell else ""
+        return f"[{self.severity.value.upper()}] {self.law} {scope}{where}: {self.description}"

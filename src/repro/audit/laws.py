@@ -1,0 +1,174 @@
+"""COPPA/CCPA rule engine (paper §2.1, §4.1).
+
+Encodes the audit logic the paper applies to each service's flows:
+
+* **Pre-consent (logged-out)** — COPPA prohibits collecting personal
+  information before the user's age is known; CCPA's willful-disregard
+  clause means sharing before age determination is treated as sharing
+  with actual knowledge.  Any identifier/personal-information flow in
+  the logged-out column raises a concern; flows to (third-party) ATS
+  raise a high-severity concern.
+* **Protected ages (child < 13 under COPPA, under 16 under CCPA)** —
+  sharing identifiers or personal information with third-party ATS
+  after consent still raises a concern unless the policy discloses it
+  (ATS destinations indicate non-internal-operations purposes).
+* **Policy consistency** — observed flows a quoted policy commitment
+  rules out are inconsistencies; observed flows the policy simply does
+  not mention are undisclosed flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.audit.findings import Finding, FindingKind, Severity
+from repro.audit.policy import PolicyModel, policy_for
+from repro.flows.dataflow import FlowTable
+from repro.model import ALL_COLUMNS, FlowCell, Presence, TraceColumn
+from repro.ontology.nodes import Level2
+
+_SHARE_CELLS = (FlowCell.SHARE_3RD, FlowCell.SHARE_3RD_ATS)
+_PROTECTED_COLUMNS = (TraceColumn.CHILD, TraceColumn.ADOLESCENT)
+
+
+def _law_for(column: TraceColumn) -> str:
+    if column is TraceColumn.CHILD:
+        return "COPPA/CCPA"
+    if column is TraceColumn.ADOLESCENT:
+        return "CCPA"
+    return "CCPA"
+
+
+@dataclass
+class LawAuditor:
+    """Evaluates one service's flow table against COPPA/CCPA + policy."""
+
+    service: str
+    policy: PolicyModel | None = None
+
+    def __post_init__(self) -> None:
+        if self.policy is None:
+            self.policy = policy_for(self.service)
+
+    # -- individual rules ----------------------------------------------
+
+    def pre_consent_findings(self, flows: FlowTable) -> list[Finding]:
+        """§4.1.1: any processing while logged out is pre-consent."""
+        findings: list[Finding] = []
+        column = TraceColumn.LOGGED_OUT
+        for level2 in Level2:
+            for cell in FlowCell:
+                presence = flows.presence(self.service, level2, column, cell)
+                if presence is Presence.NONE:
+                    continue
+                if cell.is_share:
+                    kind = FindingKind.PRE_CONSENT_SHARING
+                    severity = Severity.HIGH if cell.is_ats else Severity.CONCERN
+                    verb = "shared with"
+                else:
+                    kind = FindingKind.PRE_CONSENT_COLLECTION
+                    severity = Severity.CONCERN
+                    verb = "collected by"
+                party = {
+                    FlowCell.COLLECT_1ST: "first parties",
+                    FlowCell.COLLECT_1ST_ATS: "first-party ATS",
+                    FlowCell.SHARE_3RD: "third parties",
+                    FlowCell.SHARE_3RD_ATS: "third-party ATS",
+                }[cell]
+                findings.append(
+                    Finding(
+                        kind=kind,
+                        severity=severity,
+                        law="COPPA/CCPA",
+                        service=self.service,
+                        column=column,
+                        level2=level2,
+                        cell=cell,
+                        description=(
+                            f"{level2.value} {verb} {party} before consent "
+                            f"and age disclosure ({presence.value})"
+                        ),
+                    )
+                )
+        return findings
+
+    def protected_age_findings(self, flows: FlowTable) -> list[Finding]:
+        """Sharing identifiers/PI of under-16 users with third-party ATS."""
+        findings: list[Finding] = []
+        for column in _PROTECTED_COLUMNS:
+            for level2 in Level2:
+                presence = flows.presence(
+                    self.service, level2, column, FlowCell.SHARE_3RD_ATS
+                )
+                if presence is Presence.NONE:
+                    continue
+                findings.append(
+                    Finding(
+                        kind=FindingKind.PROTECTED_AGE_ATS_SHARING,
+                        severity=Severity.HIGH,
+                        law=_law_for(column),
+                        service=self.service,
+                        column=column,
+                        level2=level2,
+                        cell=FlowCell.SHARE_3RD_ATS,
+                        description=(
+                            f"{level2.value} of {column.value} users shared "
+                            f"with third-party ATS ({presence.value}); ATS "
+                            "destinations indicate non-internal-operations "
+                            "purposes requiring opt-in consent"
+                        ),
+                    )
+                )
+        return findings
+
+    def policy_findings(self, flows: FlowTable) -> list[Finding]:
+        """Undisclosed flows and direct policy inconsistencies."""
+        findings: list[Finding] = []
+        assert self.policy is not None
+        for column in ALL_COLUMNS:
+            for level2 in Level2:
+                for cell in FlowCell:
+                    presence = flows.presence(self.service, level2, column, cell)
+                    if presence is Presence.NONE:
+                        continue
+                    if self.policy.prohibited(column, level2, cell):
+                        findings.append(
+                            Finding(
+                                kind=FindingKind.POLICY_INCONSISTENCY,
+                                severity=Severity.HIGH,
+                                law="policy",
+                                service=self.service,
+                                column=column,
+                                level2=level2,
+                                cell=cell,
+                                description=(
+                                    f"observed {level2.value} → {cell.value} "
+                                    f"contradicts a quoted policy commitment"
+                                ),
+                            )
+                        )
+                    elif not self.policy.disclosed(column, level2, cell):
+                        findings.append(
+                            Finding(
+                                kind=FindingKind.UNDISCLOSED_FLOW,
+                                severity=Severity.CONCERN,
+                                law="policy",
+                                service=self.service,
+                                column=column,
+                                level2=level2,
+                                cell=cell,
+                                description=(
+                                    f"observed {level2.value} → {cell.value} "
+                                    "not clearly disclosed in the privacy policy"
+                                ),
+                            )
+                        )
+        return findings
+
+    def audit(self, flows: FlowTable) -> list[Finding]:
+        """All findings for this service."""
+        return (
+            self.pre_consent_findings(flows)
+            + self.protected_age_findings(flows)
+            + self.policy_findings(flows)
+        )

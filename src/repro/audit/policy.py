@@ -1,0 +1,253 @@
+"""Machine-readable privacy-policy disclosure models (paper §4.1.2).
+
+The paper compared observed data flows against what each service's
+privacy policy (fall 2023) disclosed.  Each :class:`PolicyModel`
+encodes the quoted statements as *disclosure rules*: for a given
+audience (audit column), which ``(level-2 category, flow cell)``
+combinations the policy can be read to disclose.  Observed flows
+outside the disclosed set are *undisclosed*; observed flows directly
+contradicting a quoted commitment are *inconsistencies*.
+
+These models intentionally take the services' statements at face value
+the way the paper's analysis does — e.g. Duolingo's "third-party
+behavioral tracking is disabled" for under-16 users is modelled as "no
+share-to-ATS disclosed for child/adolescent".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model import AGE_COLUMNS, FlowCell, TraceColumn
+from repro.ontology.nodes import Level2
+
+_ALL_LEVEL2 = tuple(Level2)
+_ALL_CELLS = tuple(FlowCell)
+_PROTECTED = (TraceColumn.CHILD, TraceColumn.ADOLESCENT)
+
+
+@dataclass(frozen=True)
+class PolicyStatement:
+    """One quoted policy statement with its machine reading."""
+
+    quote: str
+    audiences: tuple[TraceColumn, ...]
+    discloses: tuple[tuple[Level2, FlowCell], ...] = ()
+    prohibits: tuple[tuple[Level2, FlowCell], ...] = ()
+
+
+def _cells(level2s, cells) -> tuple[tuple[Level2, FlowCell], ...]:
+    return tuple((l2, cell) for l2 in level2s for cell in cells)
+
+
+@dataclass
+class PolicyModel:
+    """Disclosure model for one service."""
+
+    service: str
+    statements: tuple[PolicyStatement, ...] = ()
+    # Baseline: every policy discloses first-party collection for the
+    # operation of the service once the user consents.
+    baseline_collect_disclosed: bool = True
+
+    def disclosed(self, column: TraceColumn, level2: Level2, cell: FlowCell) -> bool:
+        """Is this flow disclosed for this audience?
+
+        Nothing is disclosed pre-consent (logged out): the policies all
+        condition processing on account relationships, and COPPA/CCPA
+        condition it on age knowledge.
+        """
+        if column is TraceColumn.LOGGED_OUT:
+            return False
+        if self.prohibited(column, level2, cell):
+            return False
+        if self.baseline_collect_disclosed and cell is FlowCell.COLLECT_1ST:
+            return True
+        for statement in self.statements:
+            if column in statement.audiences and (level2, cell) in statement.discloses:
+                return True
+        return False
+
+    def prohibited(self, column: TraceColumn, level2: Level2, cell: FlowCell) -> bool:
+        """Does a quoted commitment rule this flow out?"""
+        for statement in self.statements:
+            if column in statement.audiences and (level2, cell) in statement.prohibits:
+                return True
+        return False
+
+
+_POLICIES: dict[str, PolicyModel] = {
+    "duolingo": PolicyModel(
+        service="duolingo",
+        statements=(
+            PolicyStatement(
+                quote=(
+                    "For users under 16, advertisements are set to "
+                    "non-personalised and third-party behavioral tracking "
+                    "is disabled."
+                ),
+                audiences=_PROTECTED,
+                prohibits=_cells(_ALL_LEVEL2, (FlowCell.SHARE_3RD_ATS,)),
+            ),
+            PolicyStatement(
+                quote="We share usage analytics with processors for all users.",
+                audiences=AGE_COLUMNS,
+                discloses=_cells(
+                    (Level2.USER_INTERESTS_AND_BEHAVIORS, Level2.USER_COMMUNICATIONS),
+                    (FlowCell.SHARE_3RD,),
+                ),
+            ),
+        ),
+    ),
+    "minecraft": PolicyModel(
+        service="minecraft",
+        statements=(
+            PolicyStatement(
+                quote=(
+                    "We do not deliver personalized advertising to children "
+                    "whose birthdate in their Microsoft account identifies "
+                    "them as under 18 years of age."
+                ),
+                audiences=_PROTECTED,
+                prohibits=_cells(_ALL_LEVEL2, (FlowCell.SHARE_3RD_ATS,)),
+            ),
+            PolicyStatement(
+                quote=(
+                    "Microsoft uses the data we collect for analytics and "
+                    "to operate our products, including required service "
+                    "data shared with processors."
+                ),
+                audiences=AGE_COLUMNS,
+                discloses=_cells(_ALL_LEVEL2, (FlowCell.COLLECT_1ST_ATS,))
+                + _cells(
+                    (
+                        Level2.DEVICE_IDENTIFIERS,
+                        Level2.USER_INTERESTS_AND_BEHAVIORS,
+                        Level2.USER_COMMUNICATIONS,
+                    ),
+                    (FlowCell.SHARE_3RD,),
+                ),
+            ),
+        ),
+    ),
+    "quizlet": PolicyModel(
+        service="quizlet",
+        statements=(
+            PolicyStatement(
+                quote=(
+                    "We may use aggregated or de-identified information "
+                    "about children for research, analysis, marketing and "
+                    "other commercial purposes."
+                ),
+                audiences=(TraceColumn.CHILD,),
+                discloses=_cells(
+                    (Level2.USER_INTERESTS_AND_BEHAVIORS,),
+                    (FlowCell.SHARE_3RD, FlowCell.SHARE_3RD_ATS),
+                ),
+            ),
+            PolicyStatement(
+                quote="We share information with advertising partners for adults.",
+                audiences=(TraceColumn.ADOLESCENT, TraceColumn.ADULT),
+                discloses=_cells(
+                    (
+                        Level2.USER_INTERESTS_AND_BEHAVIORS,
+                        Level2.DEVICE_IDENTIFIERS,
+                    ),
+                    (FlowCell.SHARE_3RD, FlowCell.SHARE_3RD_ATS),
+                ),
+            ),
+        ),
+    ),
+    "roblox": PolicyModel(
+        service="roblox",
+        statements=(
+            PolicyStatement(
+                quote=(
+                    "We may share non-identifying data of all users "
+                    "regardless of their age for purposes such as marketing, "
+                    "reporting requirements, and service analytics."
+                ),
+                audiences=(*AGE_COLUMNS,),
+                discloses=_cells(
+                    (
+                        Level2.USER_INTERESTS_AND_BEHAVIORS,
+                        Level2.USER_COMMUNICATIONS,
+                    ),
+                    (FlowCell.SHARE_3RD, FlowCell.SHARE_3RD_ATS),
+                )
+                + _cells(_ALL_LEVEL2, (FlowCell.COLLECT_1ST_ATS,)),
+            ),
+            PolicyStatement(
+                quote=(
+                    "We have no actual knowledge of selling or sharing the "
+                    "Personal Information of minors under 16 years of age."
+                ),
+                audiences=_PROTECTED,
+                prohibits=_cells(
+                    (
+                        Level2.PERSONAL_IDENTIFIERS,
+                        Level2.PERSONAL_CHARACTERISTICS,
+                        Level2.GEOLOCATION,
+                    ),
+                    (FlowCell.SHARE_3RD, FlowCell.SHARE_3RD_ATS),
+                ),
+            ),
+        ),
+    ),
+    "tiktok": PolicyModel(
+        service="tiktok",
+        statements=(
+            PolicyStatement(
+                quote=(
+                    "We may share the information that we collect with our "
+                    "corporate group or service providers as necessary for "
+                    "them to support the internal operations of the TikTok "
+                    "service."
+                ),
+                audiences=(*AGE_COLUMNS,),
+                discloses=_cells(
+                    (
+                        Level2.DEVICE_IDENTIFIERS,
+                        Level2.USER_COMMUNICATIONS,
+                    ),
+                    (FlowCell.SHARE_3RD,),
+                )
+                + _cells(_ALL_LEVEL2, (FlowCell.COLLECT_1ST_ATS,)),
+            ),
+            PolicyStatement(
+                quote=(
+                    "TikTok does not sell information from children to third "
+                    "parties and does not share such information with third "
+                    "parties for the purposes of cross-context behavioral "
+                    "advertising."
+                ),
+                audiences=(TraceColumn.CHILD,),
+                prohibits=_cells(_ALL_LEVEL2, (FlowCell.SHARE_3RD_ATS,)),
+            ),
+        ),
+    ),
+    "youtube": PolicyModel(
+        service="youtube",
+        statements=(
+            PolicyStatement(
+                quote=(
+                    "We collect information including device type and "
+                    "settings, log information, and unique identifiers for "
+                    "internal operational purposes, personalized content, "
+                    "and contextual advertising, including ad frequency "
+                    "capping."
+                ),
+                audiences=(*AGE_COLUMNS,),
+                discloses=_cells(_ALL_LEVEL2, (FlowCell.COLLECT_1ST, FlowCell.COLLECT_1ST_ATS)),
+            ),
+        ),
+    ),
+}
+
+
+def policy_for(service: str) -> PolicyModel:
+    """The disclosure model of one service's fall-2023 privacy policy."""
+    try:
+        return _POLICIES[service]
+    except KeyError:
+        raise KeyError(f"no policy model for {service!r}") from None

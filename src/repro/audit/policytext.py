@@ -1,0 +1,175 @@
+"""Privacy-policy text analysis: quoted statements → disclosure rules.
+
+The paper reads each service's privacy policy by hand and compares
+observed flows against the quoted commitments (§4.1.2).  This module
+automates the reading for the statement shapes that actually occur in
+those policies — a deliberately narrow, pattern-based analyzer in the
+PoliCheck/PoliGraph lineage the authors cite, covering:
+
+* negative commitments — "we do **not** share/sell X with/to Y [for
+  users under N]";
+* positive disclosures — "we [may] share/collect X with Y [for Z]";
+* audience scoping — "children", "users under 13/16/18", "teens",
+  "all users".
+
+The output is :class:`~repro.audit.policy.PolicyStatement` objects,
+directly usable by the audit engine.  Statement shapes outside the
+covered grammar are surfaced as ``unparsed`` so the auditor knows what
+still requires human reading — the honest failure mode for policy NLP.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.audit.policy import PolicyModel, PolicyStatement
+from repro.model import AGE_COLUMNS, FlowCell, TraceColumn
+from repro.ontology.nodes import Level2
+
+# ----------------------------------------------------------------------
+# Vocabulary: how policies name data categories and recipients.
+# ----------------------------------------------------------------------
+
+_CATEGORY_VOCAB: dict[str, tuple[Level2, ...]] = {
+    "personal information": (
+        Level2.PERSONAL_IDENTIFIERS,
+        Level2.PERSONAL_CHARACTERISTICS,
+        Level2.PERSONAL_HISTORY,
+        Level2.GEOLOCATION,
+        Level2.USER_COMMUNICATIONS,
+        Level2.SENSORS,
+        Level2.USER_INTERESTS_AND_BEHAVIORS,
+    ),
+    "personal data": (
+        Level2.PERSONAL_IDENTIFIERS,
+        Level2.PERSONAL_CHARACTERISTICS,
+        Level2.GEOLOCATION,
+        Level2.USER_COMMUNICATIONS,
+        Level2.USER_INTERESTS_AND_BEHAVIORS,
+    ),
+    "identifiers": (Level2.PERSONAL_IDENTIFIERS, Level2.DEVICE_IDENTIFIERS),
+    "personal identifiers": (Level2.PERSONAL_IDENTIFIERS,),
+    "device identifiers": (Level2.DEVICE_IDENTIFIERS,),
+    "device information": (Level2.DEVICE_IDENTIFIERS,),
+    "contact information": (Level2.PERSONAL_IDENTIFIERS,),
+    "location": (Level2.GEOLOCATION,),
+    "location information": (Level2.GEOLOCATION,),
+    "geolocation": (Level2.GEOLOCATION,),
+    "usage data": (Level2.USER_INTERESTS_AND_BEHAVIORS,),
+    "usage information": (Level2.USER_INTERESTS_AND_BEHAVIORS,),
+    "analytics data": (Level2.USER_INTERESTS_AND_BEHAVIORS,),
+    "behavioral data": (Level2.USER_INTERESTS_AND_BEHAVIORS,),
+    "communications": (Level2.USER_COMMUNICATIONS,),
+    "everything": tuple(Level2),
+    "any information": tuple(Level2),
+    "information": tuple(Level2),
+    "data": tuple(Level2),
+}
+
+_RECIPIENT_VOCAB: dict[str, tuple[FlowCell, ...]] = {
+    "third-party advertisers": (FlowCell.SHARE_3RD_ATS,),
+    "third party advertisers": (FlowCell.SHARE_3RD_ATS,),
+    "advertisers": (FlowCell.SHARE_3RD_ATS,),
+    "advertising partners": (FlowCell.SHARE_3RD_ATS,),
+    "ad networks": (FlowCell.SHARE_3RD_ATS,),
+    "trackers": (FlowCell.SHARE_3RD_ATS,),
+    "advertising and tracking services": (FlowCell.SHARE_3RD_ATS,),
+    "third parties": (FlowCell.SHARE_3RD, FlowCell.SHARE_3RD_ATS),
+    "third-party": (FlowCell.SHARE_3RD, FlowCell.SHARE_3RD_ATS),
+    "service providers": (FlowCell.SHARE_3RD,),
+    "processors": (FlowCell.SHARE_3RD,),
+    "partners": (FlowCell.SHARE_3RD, FlowCell.SHARE_3RD_ATS),
+    "anyone": (FlowCell.SHARE_3RD, FlowCell.SHARE_3RD_ATS),
+    "our analytics providers": (FlowCell.COLLECT_1ST_ATS,),
+}
+
+_AUDIENCE_PATTERNS: tuple[tuple[str, tuple[TraceColumn, ...]], ...] = (
+    (r"children under 13|users under 13|children\b", (TraceColumn.CHILD,)),
+    (
+        r"users under 16|minors under 16|under the age of 16",
+        (TraceColumn.CHILD, TraceColumn.ADOLESCENT),
+    ),
+    (
+        r"users under 18|minors under 18|under the age of 18",
+        (TraceColumn.CHILD, TraceColumn.ADOLESCENT),
+    ),
+    (r"teens|teenagers|adolescents", (TraceColumn.ADOLESCENT,)),
+    (r"adults", (TraceColumn.ADULT,)),
+    (r"all users|any user|every user", AGE_COLUMNS),
+)
+
+_NEGATIVE_RE = re.compile(
+    r"\b(?:do|does|will)\s+not\s+(?:sell|share|disclose|provide)\b", re.IGNORECASE
+)
+_POSITIVE_RE = re.compile(
+    r"\b(?:may\s+)?(?:sell|share|disclose|provide|collect)\b", re.IGNORECASE
+)
+_SENTENCE_SPLIT_RE = re.compile(r"(?<=[.!?])\s+")
+
+
+@dataclass
+class ParsedPolicy:
+    """Result of analyzing one policy document."""
+
+    statements: list[PolicyStatement] = field(default_factory=list)
+    unparsed: list[str] = field(default_factory=list)
+
+    def to_model(self, service: str) -> PolicyModel:
+        return PolicyModel(service=service, statements=tuple(self.statements))
+
+
+def _match_vocab(sentence: str, vocabulary: dict) -> tuple:
+    """Longest matching vocabulary phrase wins."""
+    lowered = sentence.lower()
+    best: tuple = ()
+    best_length = 0
+    for phrase, mapped in vocabulary.items():
+        if phrase in lowered and len(phrase) > best_length:
+            best, best_length = mapped, len(phrase)
+    return best
+
+
+def _match_audience(sentence: str) -> tuple[TraceColumn, ...]:
+    lowered = sentence.lower()
+    for pattern, columns in _AUDIENCE_PATTERNS:
+        if re.search(pattern, lowered):
+            return columns
+    return AGE_COLUMNS  # unscoped statements apply to everyone
+
+
+def parse_sentence(sentence: str) -> PolicyStatement | None:
+    """Parse one sentence into a statement, or None if out of grammar."""
+    categories = _match_vocab(sentence, _CATEGORY_VOCAB)
+    recipients = _match_vocab(sentence, _RECIPIENT_VOCAB)
+    if not categories or not recipients:
+        return None
+    audiences = _match_audience(sentence)
+    pairs = tuple(
+        (level2, cell) for level2 in categories for cell in recipients
+    )
+    if _NEGATIVE_RE.search(sentence):
+        return PolicyStatement(
+            quote=sentence.strip(), audiences=audiences, prohibits=pairs
+        )
+    if _POSITIVE_RE.search(sentence):
+        return PolicyStatement(
+            quote=sentence.strip(), audiences=audiences, discloses=pairs
+        )
+    return None
+
+
+def parse_policy(text: str) -> ParsedPolicy:
+    """Analyze a policy document sentence by sentence."""
+    parsed = ParsedPolicy()
+    for sentence in _SENTENCE_SPLIT_RE.split(text):
+        sentence = sentence.strip()
+        if not sentence:
+            continue
+        statement = parse_sentence(sentence)
+        if statement is not None:
+            parsed.statements.append(statement)
+        elif _POSITIVE_RE.search(sentence) or _NEGATIVE_RE.search(sentence):
+            # Sharing-shaped sentence we could not ground: surface it.
+            parsed.unparsed.append(sentence)
+    return parsed

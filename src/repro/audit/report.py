@@ -1,0 +1,115 @@
+"""Audit report assembly: one service, or the whole corpus."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.audit.differential import (
+    AgeDifferentialResult,
+    PlatformDifferenceResult,
+    compare_age_groups,
+    logged_out_flows,
+    platform_differences,
+)
+from repro.audit.findings import Finding, FindingKind, Severity
+from repro.audit.laws import LawAuditor
+from repro.flows.dataflow import FlowTable
+from repro.model import FlowCell, Presence, TraceColumn
+from repro.ontology.nodes import Level2
+
+
+@dataclass
+class ServiceAuditReport:
+    """Everything the audit concludes about one service."""
+
+    service: str
+    findings: list[Finding] = field(default_factory=list)
+    age_differentials: list[AgeDifferentialResult] = field(default_factory=list)
+    platform: PlatformDifferenceResult | None = None
+    logged_out: list[tuple[Level2, FlowCell, Presence]] = field(default_factory=list)
+
+    @property
+    def processed_before_consent(self) -> bool:
+        """Did the service collect/share anything while logged out?"""
+        return bool(self.logged_out)
+
+    @property
+    def shared_with_ats_before_consent(self) -> bool:
+        return any(
+            cell is FlowCell.SHARE_3RD_ATS for (_, cell, _) in self.logged_out
+        )
+
+    @property
+    def has_policy_inconsistency(self) -> bool:
+        return any(
+            finding.kind
+            in (FindingKind.POLICY_INCONSISTENCY, FindingKind.UNDISCLOSED_FLOW)
+            for finding in self.findings
+        )
+
+    def findings_by_kind(self) -> Counter:
+        return Counter(finding.kind for finding in self.findings)
+
+    def findings_by_severity(self) -> Counter:
+        return Counter(finding.severity for finding in self.findings)
+
+    def high_severity(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.HIGH]
+
+    def summary_lines(self) -> list[str]:
+        counts = self.findings_by_severity()
+        lines = [
+            f"=== {self.service} ===",
+            f"findings: {len(self.findings)} "
+            f"(high: {counts.get(Severity.HIGH, 0)}, "
+            f"concern: {counts.get(Severity.CONCERN, 0)})",
+            f"pre-consent processing: {self.processed_before_consent}",
+            f"pre-consent ATS sharing: {self.shared_with_ats_before_consent}",
+        ]
+        for differential in self.age_differentials:
+            lines.append(
+                f"grid similarity {differential.left.value} vs "
+                f"{differential.right.value}: {differential.similarity:.2f}"
+            )
+        if self.platform is not None:
+            lines.append(
+                f"web-only flows: {len(self.platform.web_only)}, "
+                f"mobile-only flows: {len(self.platform.mobile_only)} "
+                f"(all shares: {self.platform.mobile_only_all_third_party})"
+            )
+        return lines
+
+
+def audit_service(flows: FlowTable, service: str, policy=None) -> ServiceAuditReport:
+    """Run the full per-service audit (laws + policy + differentials).
+
+    ``policy`` overrides the built-in disclosure model — required when
+    auditing a custom (non-catalog) service.
+    """
+    auditor = LawAuditor(service=service, policy=policy)
+    report = ServiceAuditReport(service=service)
+    report.findings = auditor.audit(flows)
+
+    # The paper's "no significant differentiation" finding becomes an
+    # explicit finding when the age grids are (near-)identical.
+    report.age_differentials = compare_age_groups(flows, service)
+    for differential in report.age_differentials:
+        if differential.similarity >= 0.9 and differential.left is TraceColumn.CHILD:
+            report.findings.append(
+                Finding(
+                    kind=FindingKind.NO_AGE_DIFFERENTIATION,
+                    severity=Severity.CONCERN,
+                    law="COPPA/CCPA",
+                    service=service,
+                    column=TraceColumn.CHILD,
+                    description=(
+                        f"child and adult data flows are "
+                        f"{differential.similarity:.0%} identical — no "
+                        "meaningful age-specific treatment"
+                    ),
+                )
+            )
+    report.platform = platform_differences(flows, service)
+    report.logged_out = logged_out_flows(flows, service)
+    return report

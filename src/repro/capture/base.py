@@ -1,0 +1,33 @@
+"""Common capture types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model import AgeGroup, Platform, TraceColumn, TraceKind
+
+
+@dataclass(frozen=True)
+class TraceMeta:
+    """Identity of one captured trace unit."""
+
+    service: str
+    platform: Platform
+    kind: TraceKind
+    age: AgeGroup | None
+
+    @property
+    def column(self) -> TraceColumn:
+        return TraceColumn.for_trace(self.kind, self.age)
+
+    @property
+    def name(self) -> str:
+        age = self.age.value if self.age else "none"
+        return f"{self.service}-{self.platform.value}-{self.kind.value}-{age}"
+
+
+@dataclass
+class CaptureArtifact:
+    """Base class: every capture yields a trace identity plus bytes."""
+
+    meta: TraceMeta

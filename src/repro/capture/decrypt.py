@@ -1,0 +1,115 @@
+"""Keylog-based PCAP decryption — the ``editcap`` + Wireshark stand-in.
+
+The study embedded TLS keys into the PCAP with ``editcap
+--inject-secrets`` and let Wireshark produce decrypted traffic (§3.2).
+This module does the equivalent: reassemble TCP flows from the PCAP,
+look each flow's client random up in the key log, decrypt what it can,
+and parse the plaintext into HTTP requests.  Flows whose secret is
+missing (certificate-pinned) surface as *opaque contacts*: destination
+(from the SNI) and frame count only — the paper keeps encrypted
+traffic in its packet/domain accounting (§3.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.capture.pcapdroid import MobileArtifact
+from repro.net.http import HttpRequest, parse_request_stream
+from repro.net.packet import Frame, PacketError
+from repro.net.pcap import PcapFile
+from repro.net.tcp import TcpReassembler
+from repro.net.tls import KeyLog, TlsError, decrypt_stream, looks_like_tls, unwrap_hello
+
+
+@dataclass(frozen=True)
+class OpaqueContact:
+    """A flow we could not decrypt: destination knowledge only."""
+
+    host: str
+    first_timestamp: float
+    frame_count: int
+
+
+@dataclass
+class DecryptedRequest:
+    """One recovered outgoing request with its flow identity."""
+
+    request: HttpRequest
+    flow: str  # canonical flow id string
+
+
+@dataclass
+class MobileDecryption:
+    """Everything recoverable from one mobile artifact."""
+
+    requests: list[DecryptedRequest] = field(default_factory=list)
+    opaque: list[OpaqueContact] = field(default_factory=list)
+    packet_count: int = 0
+    flow_count: int = 0
+    undecryptable_flows: int = 0
+
+
+def decrypt_mobile_artifact(
+    pcap: PcapFile | bytes, keylog: KeyLog | str
+) -> MobileDecryption:
+    """Recover plaintext requests from a PCAP + key-log pair."""
+    if isinstance(pcap, (bytes, bytearray)):
+        pcap = PcapFile.from_bytes(bytes(pcap))
+    if isinstance(keylog, str):
+        keylog = KeyLog.from_text(keylog)
+
+    result = MobileDecryption(packet_count=len(pcap))
+    reassembler = TcpReassembler()
+    frame_counts: dict[str, int] = {}
+    for packet in pcap.packets:
+        try:
+            frame = Frame.from_bytes(packet.data, timestamp=packet.timestamp)
+        except PacketError:
+            continue  # non-TCP noise is skipped, as Wireshark filters would
+        reassembler.add_frame(frame)
+        key = "%s:%d->%s:%d" % frame.flow_key
+        frame_counts[key] = frame_counts.get(key, 0) + 1
+
+    flows = reassembler.flows()
+    result.flow_count = len(flows)
+    for flow in flows:
+        flow_id = str(flow.flow)
+        if not flow.data:
+            continue
+        if not looks_like_tls(flow.data):
+            # Plaintext HTTP straight off the wire (rare, port 80).
+            for request in parse_request_stream(
+                flow.data, scheme="http", timestamp=flow.first_timestamp
+            ):
+                result.requests.append(DecryptedRequest(request=request, flow=flow_id))
+            continue
+        try:
+            hello, records = unwrap_hello(flow.data)
+        except TlsError:
+            result.undecryptable_flows += 1
+            continue
+        if hello is None:
+            result.undecryptable_flows += 1
+            continue
+        session = keylog.lookup(hello.client_random)
+        if session is None:
+            result.undecryptable_flows += 1
+            result.opaque.append(
+                OpaqueContact(
+                    host=hello.sni,
+                    first_timestamp=flow.first_timestamp,
+                    frame_count=frame_counts.get(flow_id, 0),
+                )
+            )
+            continue
+        try:
+            plaintext = decrypt_stream(records, session)
+        except TlsError:
+            result.undecryptable_flows += 1
+            continue
+        for request in parse_request_stream(
+            plaintext, scheme="https", timestamp=flow.first_timestamp
+        ):
+            result.requests.append(DecryptedRequest(request=request, flow=flow_id))
+    return result

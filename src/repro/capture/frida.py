@@ -1,0 +1,44 @@
+"""Frida certificate-pinning bypass policy (paper §3.1.1).
+
+The study rooted the device, installed PCAPdroid's CA, and used Frida
+to bypass certificate pinning — yet still could not decrypt everything
+("Recall that we were not able to collect all the network traffic in
+clear-text on the mobile apps", §4.1).  :class:`FridaPolicy` models
+that: each flow is either *bypassed* (its TLS secret lands in the key
+log) or *pinned* (encrypted bytes only).
+
+The traffic generator marks flows that must stay opaque (structural
+mobile-only gaps in Table 4); on top of that the policy fails a random
+fraction of otherwise-decryptable flows, reproducing the study's
+partial mobile visibility.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FridaPolicy:
+    """Deterministic per-connection bypass outcome.
+
+    ``bypass_rate`` is the probability a pinned-by-the-app connection is
+    still successfully hooked; flows the generator forces opaque are
+    never bypassed.
+    """
+
+    bypass_rate: float = 0.92
+    seed: int = 41
+
+    def _bucket(self, connection_id: str) -> float:
+        digest = hashlib.sha256(
+            f"frida|{self.seed}|{connection_id}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def decryptable(self, connection_id: str, forced_opaque: bool) -> bool:
+        """Whether the connection's secret reaches the key log."""
+        if forced_opaque:
+            return False
+        return self._bucket(connection_id) < self.bypass_rate

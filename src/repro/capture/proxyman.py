@@ -1,0 +1,30 @@
+"""Proxyman desktop capture simulation (paper §3.1.3).
+
+Roblox's and Minecraft's desktop apps were captured through Proxyman,
+a MITM proxy with SSL proxying, and exported to HAR like the websites.
+Because the proxy terminates TLS itself, certificate pinning does not
+hide traffic here — pinned flows are captured in the clear (apps that
+hard-fail under MITM are modelled as absent requests upstream in the
+generator, not here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.capture.devtools import DevToolsCapture, HarArtifact
+from repro.services.generator import RawTrace
+
+
+@dataclass
+class ProxymanCapture(DevToolsCapture):
+    """Same HAR pipeline as DevTools, Proxyman branding and desktop
+    semantics."""
+
+    creator_name: str = "Proxyman"
+    creator_version: str = "4.7.0"
+
+    def capture(self, trace: RawTrace) -> HarArtifact:
+        artifact = super().capture(trace)
+        artifact.har.comment = f"proxyman-ssl-proxying:{artifact.meta.name}"
+        return artifact

@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``audit``      run the DiffAudit pipeline and print/export results
+``classify``   classify raw data type keys from the command line
+``generate``   write raw capture artifacts (HAR/PCAP/keylog) to disk
+``report``     render one paper table/figure from a fresh run
+``distill``    train the small local classifier from the LLM teacher
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import CorpusConfig, DiffAudit
+
+_SERVICES = ("duolingo", "minecraft", "quizlet", "roblox", "tiktok", "youtube")
+
+
+def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--services",
+        nargs="+",
+        choices=_SERVICES,
+        default=None,
+        help="subset of services (default: all six)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.02,
+        help="traffic volume relative to the paper's (default 0.02)",
+    )
+    parser.add_argument("--seed", type=int, default=2023)
+
+
+def _config(args) -> CorpusConfig:
+    return CorpusConfig(
+        seed=args.seed,
+        scale=args.scale,
+        services=tuple(args.services) if args.services else None,
+    )
+
+
+def cmd_audit(args) -> int:
+    result = DiffAudit(_config(args)).run()
+    if args.json:
+        from repro.reporting.export import result_to_json
+
+        output = result_to_json(result)
+        if args.output:
+            Path(args.output).write_text(output)
+            print(f"wrote {args.output}")
+        else:
+            print(output)
+        return 0
+    for service in sorted(result.audits):
+        for line in result.audits[service].summary_lines():
+            print(line)
+        print()
+    if args.output:
+        from repro.reporting.export import findings_to_csv, flows_to_csv
+
+        directory = Path(args.output)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "flows.csv").write_text(flows_to_csv(result.flows))
+        (directory / "findings.csv").write_text(findings_to_csv(result))
+        print(f"wrote {directory}/flows.csv and {directory}/findings.csv")
+    return 0
+
+
+def cmd_classify(args) -> int:
+    from repro.datatypes.majority import MajorityVoteClassifier
+
+    classifier = MajorityVoteClassifier(confidence_mode=args.mode)
+    keys = args.keys or [line.strip() for line in sys.stdin if line.strip()]
+    for verdict in classifier.classify_batch(keys):
+        print(verdict.formatted())
+    return 0
+
+
+def cmd_generate(args) -> int:
+    from repro.pipeline.corpus import CorpusProcessor
+
+    directory = Path(args.output)
+    processor = CorpusProcessor(config=_config(args), artifacts_dir=directory)
+    count = sum(1 for _ in processor)
+    print(f"wrote {count} trace artifacts into {directory}/")
+    return 0
+
+
+def cmd_report(args) -> int:
+    result = DiffAudit(_config(args)).run()
+    from repro.linkability.analysis import linkability_matrix
+    from repro.reporting import (
+        render_census,
+        render_fig3,
+        render_fig4,
+        render_fig5,
+        render_table1,
+        render_table2,
+        render_table4,
+        render_table5,
+    )
+
+    def render_ci() -> str:
+        from repro.audit.contextual import summarize
+        from repro.reporting.tables import render_table
+
+        rows = []
+        for service in sorted(result.audits):
+            summary = summarize(
+                [o for o in result.flows.observations() if o.service == service]
+            )
+            rows.append(
+                [
+                    service,
+                    str(summary.appropriate),
+                    str(summary.conditional),
+                    str(summary.inappropriate),
+                    f"{summary.inappropriate_fraction:.1%}",
+                ]
+            )
+        return render_table(
+            ["Service", "Appropriate", "Conditional", "Inappropriate", "Inapp. %"],
+            rows,
+            "Contextual-integrity judgment",
+        )
+
+    renderers = {
+        "table1": lambda: render_table1(result.dataset),
+        "table2": lambda: render_table2(result.flows),
+        "table4": lambda: render_table4(result.flows),
+        "table5": render_table5,
+        "fig3": lambda: render_fig3(linkability_matrix(result.flows)),
+        "fig4": lambda: render_fig4(linkability_matrix(result.flows)),
+        "fig5": lambda: render_fig5(result.alluvial),
+        "census": lambda: render_census(result.census),
+        "ci": render_ci,
+    }
+    print(renderers[args.artifact]())
+    return 0
+
+
+def cmd_distill(args) -> int:
+    from repro.datatypes.distill import distill
+    from repro.datatypes.majority import MajorityVoteClassifier
+    from repro.services.payloads import PayloadFactory
+
+    factory = PayloadFactory(seed=args.seed)
+    teacher = MajorityVoteClassifier(confidence_mode="avg")
+    keys = sorted(factory.registry.truth)
+    student, report = distill(
+        teacher,
+        keys,
+        confidence_threshold=args.threshold,
+        truth=factory.registry.truth,
+    )
+    print(f"training labels:     {report.training_size}")
+    print(f"student parameters:  {report.student_parameters}")
+    print(f"teacher agreement:   {report.teacher_agreement:.3f}")
+    if report.student_accuracy is not None:
+        print(f"student accuracy:    {report.student_accuracy:.3f}")
+        print(f"teacher accuracy:    {report.teacher_accuracy:.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DiffAudit reproduction — differential privacy auditing",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    audit = sub.add_parser("audit", help="run the full audit pipeline")
+    _add_corpus_arguments(audit)
+    audit.add_argument("--json", action="store_true", help="emit a JSON summary")
+    audit.add_argument("--output", help="output file (JSON) or directory (CSV)")
+    audit.set_defaults(func=cmd_audit)
+
+    classify = sub.add_parser("classify", help="classify raw data type keys")
+    classify.add_argument("keys", nargs="*", help="keys (default: read stdin)")
+    classify.add_argument("--mode", choices=("avg", "max"), default="avg")
+    classify.set_defaults(func=cmd_classify)
+
+    generate = sub.add_parser("generate", help="write raw capture artifacts")
+    _add_corpus_arguments(generate)
+    generate.add_argument("--output", default="./artifacts")
+    generate.set_defaults(func=cmd_generate)
+
+    report = sub.add_parser("report", help="render one paper table/figure")
+    _add_corpus_arguments(report)
+    report.add_argument(
+        "artifact",
+        choices=(
+            "table1",
+            "table2",
+            "table4",
+            "table5",
+            "fig3",
+            "fig4",
+            "fig5",
+            "census",
+            "ci",
+        ),
+    )
+    report.set_defaults(func=cmd_report)
+
+    distill = sub.add_parser("distill", help="train the small local classifier")
+    distill.add_argument("--seed", type=int, default=2023)
+    distill.add_argument("--threshold", type=float, default=0.8)
+    distill.set_defaults(func=cmd_distill)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""Classifier interface shared by GPT-4 substitute and baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.ontology.nodes import Level3
+
+
+@dataclass(frozen=True)
+class Classification:
+    """One classifier verdict for one raw data type.
+
+    Mirrors the paper's required GPT-4 output format
+    ``<input text> // <category> // <score> // <explanation>``.
+    """
+
+    text: str
+    label: Level3 | None  # None: the model declined / hallucinated
+    confidence: float  # 0..1
+    explanation: str = ""
+
+    def formatted(self) -> str:
+        label = self.label.value if self.label else "Unknown"
+        return f"{self.text} // {label} // {self.confidence:.2f} // {self.explanation}"
+
+
+@runtime_checkable
+class Classifier(Protocol):
+    """Anything that can label raw data types."""
+
+    name: str
+
+    def classify(self, text: str) -> Classification:  # pragma: no cover
+        ...
+
+    def classify_batch(self, texts: list[str]) -> list[Classification]:
+        return [self.classify(text) for text in texts]

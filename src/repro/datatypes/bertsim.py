@@ -1,0 +1,111 @@
+"""Fuzzy matching over dense "pre-trained" embeddings (PolyFuzz-BERT).
+
+The paper's BERT-based fuzzy matcher reached only 18% sample accuracy:
+a generic sentence encoder, never tuned for traffic keys, produces
+embeddings whose neighborhoods do not respect the ontology.  Our
+substitute models exactly that failure mode with **hashed random
+embeddings**: each token maps to a deterministic pseudo-random unit
+vector, phrases are mean-pooled, and similarity is cosine.  Identical
+tokens still match (so some keys classify correctly), but there is no
+semantic generalization — the property that made BERT-without-
+fine-tuning weak in the paper.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+
+from repro.datatypes.base import Classification
+from repro.ontology import ONTOLOGY
+from repro.ontology.lexicon import split_key
+from repro.ontology.nodes import Level3
+
+_DIM = 24
+
+
+def token_embedding(token: str) -> list[float]:
+    """Deterministic pseudo-random unit vector for a token."""
+    values: list[float] = []
+    counter = 0
+    while len(values) < _DIM:
+        digest = hashlib.sha256(f"emb|{token}|{counter}".encode()).digest()
+        for index in range(0, len(digest) - 1, 2):
+            raw = int.from_bytes(digest[index : index + 2], "big")
+            values.append(raw / 32768.0 - 1.0)
+            if len(values) == _DIM:
+                break
+        counter += 1
+    norm = math.sqrt(sum(v * v for v in values)) or 1.0
+    return [v / norm for v in values]
+
+
+def embed_phrase(text: str) -> list[float]:
+    """Mean-pooled character-trigram embeddings of the *raw* string.
+
+    PolyFuzz feeds the raw key to the encoder without the word-level
+    normalization our knowledge-based classifier performs — so
+    ``IsOptOutEmailShown`` and ``email address`` land far apart.  That
+    is precisely the weakness the paper measured (18% accuracy); do
+    not "fix" this by splitting tokens here.
+    """
+    text = text.lower()
+    grams = [text[i : i + 3] for i in range(max(1, len(text) - 2))]
+    acc = [0.0] * _DIM
+    for gram in grams:
+        vector = token_embedding(gram)
+        for index in range(_DIM):
+            acc[index] += vector[index]
+    norm = math.sqrt(sum(v * v for v in acc)) or 1.0
+    return [v / norm for v in acc]
+
+
+def cosine(a: list[float], b: list[float]) -> float:
+    return sum(x * y for x, y in zip(a, b))
+
+
+@dataclass
+class BertFuzzyClassifier:
+    """Nearest ontology example in hashed-embedding space.
+
+    Like the TF-IDF matcher, an input must clear ``min_similarity``
+    (cosine) to count as matched — PolyFuzz "match" semantics.
+    """
+
+    min_similarity: float = 0.68
+    name: str = "fuzzy-bert"
+    _examples: list[tuple[str, Level3, list[float]]] = field(
+        default_factory=list, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        for node in ONTOLOGY:
+            for example in node.examples:
+                self._examples.append((example, node.level3, embed_phrase(example)))
+
+    def classify(self, text: str) -> Classification:
+        query = embed_phrase(text)
+        best_score = -2.0
+        best_label: Level3 | None = None
+        best_example = ""
+        for example, label, vector in self._examples:
+            score = cosine(query, vector)
+            if score > best_score:
+                best_score, best_label, best_example = score, label, example
+        if best_score < self.min_similarity:
+            return Classification(
+                text=text,
+                label=None,
+                confidence=round(max(0.0, (best_score + 1) / 2), 2),
+                explanation="no embedding above similarity cutoff",
+            )
+        return Classification(
+            text=text,
+            label=best_label,
+            confidence=round(max(0.0, (best_score + 1) / 2), 2),
+            explanation=f"nearest embedding: {best_example!r}",
+        )
+
+    def classify_batch(self, texts: list[str]) -> list[Classification]:
+        return [self.classify(text) for text in texts]

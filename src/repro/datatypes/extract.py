@@ -1,0 +1,76 @@
+"""Raw data type extraction from outgoing requests (paper §3.2.2).
+
+"We extract key-value pairs from the JSON-structured data, and the keys
+serve as the raw data types."  We take keys from three places a request
+leaks data: the JSON body (recursively — nested object keys count),
+URL query parameters, and cookie names.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.net.http import HttpRequest
+
+
+@dataclass(frozen=True)
+class ExtractedKey:
+    """One raw data type occurrence."""
+
+    key: str
+    value: str
+    source: str  # "body" | "query" | "cookie"
+
+
+def _walk_json(node, out: list[ExtractedKey], prefix: str = "") -> None:
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if isinstance(value, (dict, list)):
+                out.append(ExtractedKey(key=str(key), value="", source="body"))
+                _walk_json(value, out)
+            else:
+                out.append(
+                    ExtractedKey(key=str(key), value=_render(value), source="body")
+                )
+    elif isinstance(node, list):
+        for item in node:
+            _walk_json(item, out)
+
+
+def _render(value) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def extract_from_request(request: HttpRequest) -> list[ExtractedKey]:
+    """All raw data types one request transmits.
+
+    Non-JSON bodies are ignored (the paper's pipeline converts traces
+    to JSON and works with structured payloads); malformed JSON is
+    treated as opaque rather than raising — real traces contain
+    truncated bodies.
+    """
+    out: list[ExtractedKey] = []
+    for key, value in request.url.query_pairs():
+        out.append(ExtractedKey(key=key, value=value, source="query"))
+    for name, value in request.cookies():
+        out.append(ExtractedKey(key=name, value=value, source="cookie"))
+    if request.body and request.content_type in ("application/json", "text/json", ""):
+        try:
+            document = json.loads(request.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return out
+        _walk_json(document, out)
+    return out
+
+
+def extract_keys(requests: list[HttpRequest]) -> set[str]:
+    """The unique raw data types across many requests."""
+    keys: set[str] = set()
+    for request in requests:
+        keys.update(item.key for item in extract_from_request(request))
+    return keys

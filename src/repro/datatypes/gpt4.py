@@ -1,0 +1,224 @@
+"""The GPT-4 Chat Completions classifier substitute (paper §3.2.2, App. C).
+
+The paper sends raw data types to GPT-4 with a few-shot prompt built
+from the ontology (level-3 labels + level-4 examples) and asks for
+``<input> // <category> // <confidence> // <explanation>`` lines,
+sweeping temperature over {0, 0.25, 0.5, 0.75, 1.0}.
+
+Offline substitute: a knowledge-based classifier over the ontology
+lexicon (token splitting, abbreviation expansion, phrase evidence —
+exactly the reasoning the prompt asks GPT-4 to perform), wrapped in an
+LLM-shaped behaviour model:
+
+* **temperature noise** — with probability growing in the temperature,
+  the model answers its second-best (or a random) label instead of its
+  best, reproducing the accuracy-vs-temperature decay of Table 3;
+* **confidence** — a function of lexical evidence margin, so opaque
+  keys (``bffp``) get low-confidence guesses that the paper's
+  confidence thresholds are designed to filter;
+* **hallucination guard** — above temperature 1 the real model
+  hallucinated; we reproduce that by refusing such configurations.
+
+The substitution preserves what downstream code depends on: the API
+shape, the knobs, the correlation between confidence and correctness,
+and the ordering of configurations in Table 3.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+from repro.datatypes.base import Classification
+from repro.ontology import ONTOLOGY, Lexicon, build_default_lexicon
+from repro.ontology.nodes import Level3
+
+TEMPERATURES: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+GPT4_PROMPT = (
+    "You are a text classifier for network traffic payload data. I am going "
+    "to give you some categories and examples for each category. Then I will "
+    "give you text sequences that I want you to categorize using the provided "
+    "categories. The input texts were collected from network traffic "
+    "payloads. Try to determine the meaning of the input texts and use the "
+    "similarity of the categories and input texts to do the classification. "
+    "For text with acronyms and abbreviations, use the meaning of the "
+    "acronyms and abbreviations to do the classification. Provide an "
+    "explanation for each classification in 15 words or less. Report a score "
+    "of confidence on a scale of 0 to 1 for each categorization. Format your "
+    "response exactly like this for each input text: <input text> // "
+    "<category> // <score> // <explanation>."
+)
+
+# Behaviour calibration (tuned against Table 3's shape; see
+# EXPERIMENTS.md for measured-vs-paper numbers).
+#
+# Noise has two parts.  *Correlated* noise models inputs that mislead
+# the model the same way at every temperature (hard keys are hard for
+# every run — this is why the paper's majority vote only improves
+# accuracy a little, 0.75 vs 0.72).  *Per-model* noise is the sampling
+# nondeterminism that grows with temperature and that majority voting
+# does cancel.
+_CORRELATED_NOISE = 0.10  # shared across all temperature models
+_BASE_NOISE = 0.035  # per-model flip probability at temperature 0
+_NOISE_SLOPE = 0.095  # extra per-model flip probability per unit temp
+_RANDOM_FLIP_SHARE = 0.35  # flips that go fully random vs second-best
+
+# SDK-style decoration tokens an LLM reads past ("ga_email" means
+# email); stripped before scoring when informative tokens remain.
+_DECORATORS = frozenset(
+    {
+        "ga",
+        "fb",
+        "amp",
+        "mp",
+        "bz",
+        "af",
+        "adj",
+        "sp",
+        "ttq",
+        "yt",
+        "sdk",
+        "client",
+        "ctx",
+        "meta",
+        "evt",
+        "usr",
+        "dev",
+        "req",
+    }
+)
+
+
+def _prompt_messages(labels: list[str]) -> list[dict]:
+    """The Chat Completions message list the paper's API calls used."""
+    category_lines = []
+    for label in labels:
+        examples = ", ".join(ONTOLOGY.examples_for(label)[:6])
+        category_lines.append(f"- {label}: {examples}")
+    return [
+        {"role": "system", "content": GPT4_PROMPT},
+        {"role": "user", "content": "Categories and examples:\n" + "\n".join(category_lines)},
+    ]
+
+
+@dataclass
+class Gpt4Classifier:
+    """One temperature model of the simulated GPT-4 classifier."""
+
+    temperature: float = 0.0
+    seed: int = 11
+    lexicon: Lexicon = field(default_factory=lambda: build_default_lexicon(ONTOLOGY))
+    name: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.temperature <= 1.0:
+            # The paper observed hallucinatory output above 1.0 and
+            # capped the sweep at 1.0; we enforce the cap.
+            raise ValueError("temperature must be within [0, 1]")
+        self.name = f"gpt4-t{self.temperature:g}"
+        self._labels = ONTOLOGY.label_names()
+
+    # -- deterministic per-key randomness ------------------------------
+
+    def _rng(self, text: str) -> random.Random:
+        digest = hashlib.sha256(
+            f"{self.seed}|{self.temperature}|{text}".encode()
+        ).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+
+    def _shared_rng(self, text: str) -> random.Random:
+        """Per-key randomness shared by every temperature model."""
+        digest = hashlib.sha256(f"shared|{text}".encode()).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+
+    # -- the "model" ----------------------------------------------------
+
+    def prompt_messages(self) -> list[dict]:
+        """The messages this model would send (for inspection/tests)."""
+        return _prompt_messages(self._labels)
+
+    def _score(self, text: str) -> dict:
+        """Lexicon scores after reading past SDK decoration prefixes."""
+        from repro.ontology.lexicon import split_key
+
+        tokens = split_key(text)
+        stripped = [t for t in tokens if t not in _DECORATORS]
+        if stripped and len(stripped) < len(tokens):
+            scores = self.lexicon.score("_".join(stripped))
+            if scores:
+                return scores
+        return self.lexicon.score(text)
+
+    def classify(self, text: str) -> Classification:
+        scores = self._score(text)
+        rng = self._rng(text)
+        ranked = sorted(scores.items(), key=lambda item: -item[1])
+
+        if not ranked:
+            # No lexical evidence at all: the model guesses with the
+            # low confidence the paper's thresholds are meant to drop.
+            label = Level3(rng.choice(self._labels))
+            confidence = round(rng.uniform(0.25, 0.62), 2)
+            return Classification(
+                text=text,
+                label=label,
+                confidence=confidence,
+                explanation="unclear token; low-confidence guess",
+            )
+
+        best_label, best_score = ranked[0]
+        second_score = ranked[1][1] if len(ranked) > 1 else 0.0
+        margin = (best_score - second_score) / (best_score + 1e-9)
+        evidence = min(1.0, best_score / 1.5)
+
+        # Correlated misreads: the same wrong answer at every
+        # temperature (majority voting cannot fix these).
+        shared = self._shared_rng(text)
+        label = best_label
+        flipped = False
+        if shared.random() < _CORRELATED_NOISE:
+            flipped = True
+            if len(ranked) > 1 and shared.random() > _RANDOM_FLIP_SHARE:
+                label = ranked[1][0]
+            else:
+                label = Level3(shared.choice(self._labels))
+        # Per-model sampling noise, growing with temperature.
+        elif rng.random() < _BASE_NOISE + _NOISE_SLOPE * self.temperature:
+            flipped = True
+            if len(ranked) > 1 and rng.random() > _RANDOM_FLIP_SHARE:
+                label = ranked[1][0]
+            else:
+                label = Level3(rng.choice(self._labels))
+
+        # Confidence tracks evidence strength and margin; flipped
+        # answers hedge only slightly (the model stays plausible even
+        # when wrong — that is why the paper's high-confidence bins do
+        # not reach perfect accuracy).
+        confidence = 0.60 + 0.42 * evidence + 0.07 * margin
+        confidence += rng.uniform(-0.05, 0.05) * (1 + self.temperature)
+        if flipped:
+            confidence *= rng.uniform(0.88, 1.0)
+        confidence = round(max(0.05, min(0.99, confidence)), 2)
+
+        explanation = (
+            f"matched tokens suggest {label.value.lower()}"
+            if not flipped
+            else f"interpreted as {label.value.lower()}"
+        )
+        return Classification(
+            text=text, label=label, confidence=confidence, explanation=explanation
+        )
+
+    def classify_batch(self, texts: list[str]) -> list[Classification]:
+        return [self.classify(text) for text in texts]
+
+
+def temperature_sweep(seed: int = 11, lexicon: Lexicon | None = None) -> list[Gpt4Classifier]:
+    """The five temperature models of the paper's sweep."""
+    lexicon = lexicon or build_default_lexicon(ONTOLOGY)
+    return [
+        Gpt4Classifier(temperature=t, seed=seed + index, lexicon=lexicon)
+        for index, t in enumerate(TEMPERATURES)
+    ]

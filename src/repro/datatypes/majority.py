@@ -1,0 +1,55 @@
+"""Majority-vote ensemble over the temperature sweep (paper §3.2.2).
+
+"Considering the inherent nondeterminism of GPT-4, we build a
+majority-vote model where we take the majority label assigned across
+all the different temperature models."  The ensemble's confidence is
+either the **maximum** or the **average** of the confidences reported
+by the models that voted for the winning label — the Majority-Max and
+Majority-Avg rows of Table 3.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.datatypes.base import Classification, Classifier
+from repro.datatypes.gpt4 import temperature_sweep
+from repro.ontology.nodes import Level3
+
+
+@dataclass
+class MajorityVoteClassifier:
+    """Ensemble of classifiers with majority-label voting."""
+
+    models: list[Classifier] = field(default_factory=temperature_sweep)
+    confidence_mode: str = "avg"  # "avg" or "max"
+    name: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.confidence_mode not in ("avg", "max"):
+            raise ValueError("confidence_mode must be 'avg' or 'max'")
+        if not self.models:
+            raise ValueError("majority vote needs at least one model")
+        self.name = f"gpt4-majority-{self.confidence_mode}"
+
+    def classify(self, text: str) -> Classification:
+        votes = [model.classify(text) for model in self.models]
+        counts: Counter[Level3 | None] = Counter(vote.label for vote in votes)
+        winner, _ = counts.most_common(1)[0]
+        agreeing = [vote for vote in votes if vote.label == winner]
+        confidences = [vote.confidence for vote in agreeing]
+        confidence = (
+            max(confidences)
+            if self.confidence_mode == "max"
+            else sum(confidences) / len(confidences)
+        )
+        return Classification(
+            text=text,
+            label=winner,
+            confidence=round(confidence, 2),
+            explanation=f"majority {len(agreeing)}/{len(votes)} votes",
+        )
+
+    def classify_batch(self, texts: list[str]) -> list[Classification]:
+        return [self.classify(text) for text in texts]

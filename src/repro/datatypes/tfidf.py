@@ -1,0 +1,101 @@
+"""Fuzzy string matching with TF-IDF character n-grams (PolyFuzz-style).
+
+The paper's best-performing alternative classifier (31% sample
+accuracy): match each raw key to the most similar ontology example
+using TF-IDF over character 3-grams, and inherit that example's
+category.  The weakness the paper observed is inherent to the method —
+surface similarity cannot expand abbreviations or read camel-case
+compounds — and is reproduced here because the algorithm is real.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.datatypes.base import Classification
+from repro.ontology import ONTOLOGY
+from repro.ontology.nodes import Level3
+
+
+def _ngrams(text: str, n: int = 3) -> Counter[str]:
+    text = f" {text.lower()} "
+    return Counter(text[i : i + n] for i in range(max(1, len(text) - n + 1)))
+
+
+@dataclass
+class TfidfFuzzyClassifier:
+    """Nearest-example matcher over TF-IDF character n-gram vectors.
+
+    Mirrors the paper's PolyFuzz setup: an input only *matches* an
+    example when similarity clears ``min_similarity``; below that the
+    matcher leaves the input unlabeled (counted as wrong in
+    validation).  Real traffic keys are heavily decorated, so most
+    fall below the cutoff — the effect behind the paper's 31%.
+    """
+
+    ngram: int = 3
+    min_similarity: float = 0.40
+    name: str = "fuzzy-tfidf"
+    _examples: list[tuple[str, Level3]] = field(default_factory=list, repr=False)
+    _idf: dict[str, float] = field(default_factory=dict, repr=False)
+    _vectors: list[dict[str, float]] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        for node in ONTOLOGY:
+            for example in node.examples:
+                self._examples.append((example, node.level3))
+        document_frequency: Counter[str] = Counter()
+        counted = [
+            _ngrams(example, self.ngram) for example, _ in self._examples
+        ]
+        for grams in counted:
+            document_frequency.update(set(grams))
+        n_docs = len(self._examples)
+        self._idf = {
+            gram: math.log((1 + n_docs) / (1 + freq)) + 1
+            for gram, freq in document_frequency.items()
+        }
+        for grams in counted:
+            self._vectors.append(self._vectorize(grams))
+
+    def _vectorize(self, grams: Counter[str]) -> dict[str, float]:
+        vector = {
+            gram: count * self._idf.get(gram, math.log(1 + len(self._examples)) + 1)
+            for gram, count in grams.items()
+        }
+        norm = math.sqrt(sum(v * v for v in vector.values())) or 1.0
+        return {gram: value / norm for gram, value in vector.items()}
+
+    @staticmethod
+    def _cosine(a: dict[str, float], b: dict[str, float]) -> float:
+        if len(b) < len(a):
+            a, b = b, a
+        return sum(value * b.get(gram, 0.0) for gram, value in a.items())
+
+    def classify(self, text: str) -> Classification:
+        query = self._vectorize(_ngrams(text, self.ngram))
+        best_score = -1.0
+        best_label: Level3 | None = None
+        best_example = ""
+        for (example, label), vector in zip(self._examples, self._vectors):
+            score = self._cosine(query, vector)
+            if score > best_score:
+                best_score, best_label, best_example = score, label, example
+        if best_score < self.min_similarity:
+            return Classification(
+                text=text,
+                label=None,
+                confidence=round(max(0.0, best_score), 2),
+                explanation="no example above similarity cutoff",
+            )
+        return Classification(
+            text=text,
+            label=best_label,
+            confidence=round(max(0.0, best_score), 2),
+            explanation=f"nearest example: {best_example!r}",
+        )
+
+    def classify_batch(self, texts: list[str]) -> list[Classification]:
+        return [self.classify(text) for text in texts]

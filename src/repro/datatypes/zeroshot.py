@@ -1,0 +1,49 @@
+"""Zero-shot classification substitute (bart-large-mnli pipeline).
+
+The paper fed *only the category labels* — no examples — to the
+Hugging Face zero-shot pipeline and measured 4% sample accuracy: an
+NLI model scoring "this text is about {label}" has almost no purchase
+on terse traffic keys.  The substitute reproduces the setup (labels
+only) and the weakness: similarity between the key's tokens and the
+label's *name* tokens in the same hashed-embedding space the BERT
+matcher uses.  Keys rarely share tokens with label names, so accuracy
+collapses — the paper's observed failure mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datatypes.base import Classification
+from repro.datatypes.bertsim import cosine, embed_phrase
+from repro.ontology import ONTOLOGY
+from repro.ontology.nodes import Level3
+
+
+@dataclass
+class ZeroShotClassifier:
+    """Label-name-only similarity classifier."""
+
+    name: str = "zero-shot"
+    _labels: list[tuple[Level3, list[float]]] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        for label in ONTOLOGY.labels():
+            self._labels.append((label, embed_phrase(label.value)))
+
+    def classify(self, text: str) -> Classification:
+        query = embed_phrase(text)
+        scored = [(cosine(query, vector), label) for label, vector in self._labels]
+        scored.sort(key=lambda item: -item[0])
+        best_score, best_label = scored[0]
+        # Softmax-ish entailment probability over labels.
+        confidence = round(max(0.0, (best_score + 1) / 2), 2)
+        return Classification(
+            text=text,
+            label=best_label,
+            confidence=confidence,
+            explanation="entailment with label name",
+        )
+
+    def classify_batch(self, texts: list[str]) -> list[Classification]:
+        return [self.classify(text) for text in texts]

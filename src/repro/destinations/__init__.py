@@ -1,0 +1,41 @@
+"""Destination analysis (paper §3.2.3).
+
+Given a packet destination FQDN this package answers, in order:
+
+1. what is the eSLD? (:mod:`repro.net.psl` via :mod:`repro.destinations.esld`)
+2. who owns it? (:mod:`repro.destinations.entities` — the DuckDuckGo
+   Tracker Radar substitute — with :mod:`repro.destinations.whois` as
+   fallback)
+3. is it an advertising & tracking service? (:mod:`repro.destinations.blocklists`)
+4. is it first or third party relative to the audited service?
+   (:mod:`repro.destinations.party`)
+
+The simulated domain universe itself (organizations, eSLDs, FQDNs)
+lives in :mod:`repro.destinations.dataset` and is shared with the
+traffic generator.
+"""
+
+from repro.destinations.dataset import (
+    DomainUniverse,
+    Organization,
+    default_universe,
+)
+from repro.destinations.entities import EntityDatabase, default_entity_db
+from repro.destinations.blocklists import BlockList, BlockListCollection, default_blocklists
+from repro.destinations.party import DestinationLabel, DestinationLabeler, PartyLabel
+from repro.destinations.whois import WhoisClient
+
+__all__ = [
+    "DomainUniverse",
+    "Organization",
+    "default_universe",
+    "EntityDatabase",
+    "default_entity_db",
+    "BlockList",
+    "BlockListCollection",
+    "default_blocklists",
+    "DestinationLabel",
+    "DestinationLabeler",
+    "PartyLabel",
+    "WhoisClient",
+]

@@ -1,0 +1,219 @@
+"""ATS block-list engine (the Firebog collection substitute).
+
+The paper labels a domain as an advertising & tracking service when
+*any* of several block lists would block it (§3.2.3).  We implement the
+two formats those lists actually use:
+
+* **hosts format** — ``0.0.0.0 ads.example.com`` lines; exact-FQDN
+  matches only;
+* **domain format** — bare eSLDs/domains, matching the domain itself
+  and every subdomain (Pi-hole wildcard semantics).
+
+The default collection is derived from the simulated universe's ground
+truth, split across several lists with overlapping but distinct
+coverage — like the real Firebog collection, no single list is
+complete, and the "any list blocks ⇒ ATS" rule matters.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.destinations.dataset import DomainUniverse, default_universe
+from repro.net.psl import esld as esld_of
+
+
+class BlockListParseError(ValueError):
+    """Raised for lines that match neither supported format."""
+
+
+@dataclass
+class BlockList:
+    """One parsed block list."""
+
+    name: str
+    exact_hosts: set[str] = field(default_factory=set)
+    domain_rules: set[str] = field(default_factory=set)
+
+    @classmethod
+    def from_text(cls, name: str, text: str, fmt: str = "auto") -> "BlockList":
+        """Parse hosts-format or domain-format list text.
+
+        ``fmt`` may be ``"hosts"``, ``"domains"``, or ``"auto"`` (sniff
+        per line).  Comments (``#``) and blanks are ignored.
+        """
+        blocklist = cls(name=name)
+        for line_number, raw_line in enumerate(text.splitlines(), start=1):
+            line = raw_line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) == 2 and fmt in ("hosts", "auto"):
+                address, host = parts
+                if address not in ("0.0.0.0", "127.0.0.1", "::", "::1"):
+                    raise BlockListParseError(
+                        f"{name}:{line_number}: unexpected address {address!r}"
+                    )
+                blocklist.exact_hosts.add(host.lower())
+            elif len(parts) == 1 and fmt in ("domains", "auto"):
+                blocklist.domain_rules.add(parts[0].lower().lstrip("*."))
+            else:
+                raise BlockListParseError(f"{name}:{line_number}: bad line {raw_line!r}")
+        return blocklist
+
+    def blocks(self, fqdn: str) -> bool:
+        """Block decision for one FQDN."""
+        fqdn = fqdn.lower().rstrip(".")
+        if fqdn in self.exact_hosts:
+            return True
+        # Domain rules block the domain and all its subdomains.
+        labels = fqdn.split(".")
+        for start in range(len(labels) - 1):
+            if ".".join(labels[start:]) in self.domain_rules:
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self.exact_hosts) + len(self.domain_rules)
+
+
+@dataclass
+class BlockListCollection:
+    """Several lists with the paper's any-list decision rule."""
+
+    lists: list[BlockList] = field(default_factory=list)
+
+    def is_ats(self, fqdn: str) -> bool:
+        """True when *any* list blocks the FQDN (paper §3.2.3)."""
+        return any(blocklist.blocks(fqdn) for blocklist in self.lists)
+
+    def blocking_lists(self, fqdn: str) -> list[str]:
+        """Names of every list that blocks the FQDN (for reporting)."""
+        return [blocklist.name for blocklist in self.lists if blocklist.blocks(fqdn)]
+
+    def is_ats_majority(self, fqdn: str) -> bool:
+        """Ablation rule: a majority of lists must agree."""
+        if not self.lists:
+            return False
+        votes = sum(1 for blocklist in self.lists if blocklist.blocks(fqdn))
+        return votes * 2 > len(self.lists)
+
+    def __len__(self) -> int:
+        return len(self.lists)
+
+
+def render_hosts_format(hosts: list[str]) -> str:
+    """Render FQDNs as a hosts-format list body."""
+    lines = ["# repro synthetic hosts list", "# generated from universe ground truth"]
+    lines.extend(f"0.0.0.0 {host}" for host in hosts)
+    return "\n".join(lines) + "\n"
+
+
+def render_domain_format(domains: list[str]) -> str:
+    lines = ["# repro synthetic domain list"]
+    lines.extend(domains)
+    return "\n".join(lines) + "\n"
+
+
+def build_collection(
+    universe: DomainUniverse,
+    n_lists: int = 5,
+    per_list_coverage: float = 0.75,
+    seed: int = 99,
+) -> BlockListCollection:
+    """Derive a Firebog-like collection from universe ground truth.
+
+    Each synthetic list independently samples ``per_list_coverage`` of
+    the blocklisted hosts, so individual lists are incomplete but their
+    union is (almost surely) complete — the property that makes the
+    paper's any-list rule the right call and the majority rule an
+    interesting ablation.
+
+    Lists alternate formats: even indices are hosts-format (exact
+    FQDNs), odd indices are domain-format over eSLDs (catching every
+    subdomain).  Domain-format lists never include first-party-ATS
+    eSLDs (``roblox.com`` must not be wholesale-blocked just because
+    ``metrics.roblox.com`` is tracking), mirroring how real lists
+    handle mixed-use domains with exact host entries instead.
+    """
+    rng = random.Random(seed)
+    ground_truth_hosts = sorted(set(universe.all_blocklisted_hosts()))
+    ats_eslds = sorted(set(universe.ats_eslds()))
+    first_party_eslds = {
+        domain
+        for infra in universe.first_party_infra.values()
+        for domain in infra.organization.eslds
+    }
+    # Google's ad domains are first-party for YouTube but must still be
+    # block-listed as domains (they are dedicated ATS eSLDs).
+    safe_domain_rules = [
+        domain
+        for domain in ats_eslds
+        if domain not in first_party_eslds
+        or domain in ("doubleclick.net", "google-analytics.com", "googlesyndication.com",
+                      "googletagmanager.com", "googleadservices.com", "admob.com",
+                      "clarity.ms")
+    ]
+    # Dedicated ad eSLDs owned by first parties are blockable as domains.
+    extra_domain_rules = [
+        "doubleclick.net",
+        "google-analytics.com",
+        "googlesyndication.com",
+        "googletagmanager.com",
+        "googleadservices.com",
+        "admob.com",
+        "clarity.ms",
+    ]
+    safe_domain_rules = sorted(set(safe_domain_rules) | set(extra_domain_rules))
+
+    names = (
+        "AdguardDNS",
+        "EasyPrivacy",
+        "Prigent-Ads",
+        "AdAway",
+        "FirebogTick-W3KBL",
+        "NoTrack-Trackers",
+    )
+    lists: list[BlockList] = []
+    for index in range(n_lists):
+        name = names[index % len(names)]
+        # The first list is the "big" aggregate (AdguardDNS-style):
+        # complete over our universe, like the union of the Firebog
+        # collection over popular trackers.  The rest are independently
+        # incomplete, which is what makes the any-list rule (vs the
+        # majority-rule ablation) matter.
+        coverage = 1.0 if index == 0 else per_list_coverage
+        if index % 2 == 0:
+            sample = [h for h in ground_truth_hosts if rng.random() < coverage]
+            text = render_hosts_format(sample)
+            lists.append(BlockList.from_text(name, text, fmt="hosts"))
+        else:
+            sample = [d for d in safe_domain_rules if rng.random() < coverage]
+            text = render_domain_format(sample)
+            lists.append(BlockList.from_text(name, text, fmt="domains"))
+    return BlockListCollection(lists=lists)
+
+
+@lru_cache(maxsize=1)
+def default_blocklists() -> BlockListCollection:
+    return build_collection(default_universe())
+
+
+def is_ats(fqdn: str) -> bool:
+    """Module-level convenience using the default collection."""
+    return default_blocklists().is_ats(fqdn)
+
+
+__all__ = [
+    "BlockList",
+    "BlockListCollection",
+    "BlockListParseError",
+    "build_collection",
+    "default_blocklists",
+    "is_ats",
+    "render_hosts_format",
+    "render_domain_format",
+    "esld_of",
+]

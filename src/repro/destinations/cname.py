@@ -1,0 +1,161 @@
+"""CNAME-cloaking detection — an extension of the paper's §3.2.3.
+
+The paper labels destinations by the FQDN seen in traffic.  A known
+blind spot of FQDN-level labeling (studied by Dimova et al., "The
+CNAME of the Game") is *CNAME cloaking*: a tracker served from a
+first-party subdomain via a DNS alias — ``metrics.shop.example``
+CNAME ``collect.trackerco.net``.  The request looks first-party and
+evades FQDN block lists; only resolving the alias reveals the tracker.
+
+This module adds the uncloaking pass: resolve each destination, check
+every name on the CNAME chain against the block lists and entity
+database, and reclassify.  A synthetic cloaked zone over the simulated
+universe exercises the analysis end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.destinations.blocklists import BlockListCollection, default_blocklists
+from repro.destinations.dataset import DomainUniverse, default_universe
+from repro.destinations.party import DestinationLabeler, PartyLabel
+from repro.net.dns import Resolver
+from repro.net.psl import esld as esld_of
+
+
+@dataclass(frozen=True)
+class CloakingVerdict:
+    """Result of uncloaking one destination."""
+
+    fqdn: str
+    cloaked: bool
+    chain: tuple[str, ...]
+    hidden_target: str | None  # the tracker name the alias hides
+    apparent_party: PartyLabel
+    effective_party: PartyLabel
+
+    @property
+    def evaded_blocklists(self) -> bool:
+        """True when FQDN-level labeling missed a tracker."""
+        return self.cloaked and not self.apparent_party.is_ats
+
+
+def uncloak(
+    fqdn: str,
+    resolver: Resolver,
+    labeler: DestinationLabeler,
+    blocklists: BlockListCollection | None = None,
+) -> CloakingVerdict:
+    """Resolve ``fqdn`` and re-label it using its whole CNAME chain."""
+    blocklists = blocklists or default_blocklists()
+    apparent = labeler.label(fqdn)
+    answer = resolver.resolve(fqdn)
+    hidden: str | None = None
+    for name in answer.chain:
+        # A chain hop on a *different* eSLD that the block lists flag
+        # is a cloaked tracker.
+        if esld_of(name) != (apparent.esld or esld_of(fqdn)) and blocklists.is_ats(name):
+            hidden = name
+            break
+    if hidden is None:
+        return CloakingVerdict(
+            fqdn=fqdn,
+            cloaked=False,
+            chain=answer.chain,
+            hidden_target=None,
+            apparent_party=apparent.party,
+            effective_party=apparent.party,
+        )
+    effective = (
+        PartyLabel.FIRST_PARTY_ATS
+        if apparent.party.is_first_party
+        else PartyLabel.THIRD_PARTY_ATS
+    )
+    return CloakingVerdict(
+        fqdn=fqdn,
+        cloaked=True,
+        chain=answer.chain,
+        hidden_target=hidden,
+        apparent_party=apparent.party,
+        effective_party=effective,
+    )
+
+
+# ----------------------------------------------------------------------
+# Synthetic cloaked zone over the universe.
+# ----------------------------------------------------------------------
+
+# First-party-looking subdomain labels trackers typically hide behind.
+_CLOAK_LABELS = ("smetrics", "stats", "insight", "telemetry-fp", "trk")
+
+
+@dataclass
+class CloakedZone:
+    """The universe's DNS zone, including cloaked tracker aliases."""
+
+    resolver: Resolver = field(default_factory=Resolver)
+    cloaked_hosts: dict[str, str] = field(default_factory=dict)  # alias -> tracker
+
+
+def build_cloaked_zone(
+    universe: DomainUniverse | None = None, per_service: int = 3
+) -> CloakedZone:
+    """Create cloaked aliases under each service's primary domain.
+
+    Each service gets ``per_service`` first-party-subdomain aliases
+    pointing (sometimes through a CDN hop) at named ATS trackers —
+    the Adobe/Criteo-style setups seen in the wild.
+    """
+    universe = universe or default_universe()
+    zone = CloakedZone()
+    trackers = [
+        fqdn
+        for org in universe.named_ats_orgs
+        for fqdn in universe.ats_fqdns()
+        if esld_of(fqdn) in org.eslds
+    ]
+    index = 0
+    for service_key, infra in universe.first_party_infra.items():
+        primary = infra.organization.eslds[0]
+        for position in range(per_service):
+            alias = f"{_CLOAK_LABELS[(index + position) % len(_CLOAK_LABELS)]}.{primary}"
+            tracker = trackers[(index * 7 + position * 3) % len(trackers)]
+            if position % 2:
+                # Indirect: alias -> CDN edge -> tracker.
+                edge = f"edge{position}.fastly.net"
+                zone.resolver.add_cname(alias, edge)
+                zone.resolver.add_cname(edge, tracker)
+            else:
+                zone.resolver.add_cname(alias, tracker)
+            zone.cloaked_hosts[alias] = tracker
+        index += 1
+    return zone
+
+
+@lru_cache(maxsize=1)
+def default_cloaked_zone() -> CloakedZone:
+    return build_cloaked_zone()
+
+
+def audit_cloaking(
+    labeler_for,
+    zone: CloakedZone | None = None,
+) -> list[CloakingVerdict]:
+    """Uncloak every alias in the zone.
+
+    ``labeler_for(service_key)`` supplies the per-service labeler; the
+    service is inferred from the alias's registered domain.
+    """
+    zone = zone or default_cloaked_zone()
+    universe = default_universe()
+    esld_to_service = {
+        infra.organization.eslds[0]: key
+        for key, infra in universe.first_party_infra.items()
+    }
+    verdicts = []
+    for alias in sorted(zone.cloaked_hosts):
+        service_key = esld_to_service[esld_of(alias)]
+        verdicts.append(uncloak(alias, zone.resolver, labeler_for(service_key)))
+    return verdicts

@@ -1,0 +1,109 @@
+"""First/third-party and ATS labeling of packet destinations.
+
+Paper §3.2.3: a domain is *first party* when it matches the audited
+service's name or its parent organization owns it; otherwise it is a
+*third party*.  Independently, block lists decide whether it is an ATS.
+The cross product yields the four destination classes of Table 4:
+first party, first party ATS, third party, third party ATS.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.destinations.blocklists import BlockListCollection, default_blocklists
+from repro.destinations.entities import EntityDatabase, default_entity_db
+from repro.destinations.whois import WhoisClient
+from repro.net.psl import esld as esld_of
+
+
+class PartyLabel(str, enum.Enum):
+    FIRST_PARTY = "first party"
+    FIRST_PARTY_ATS = "first party ATS"
+    THIRD_PARTY = "third party"
+    THIRD_PARTY_ATS = "third party ATS"
+
+    @property
+    def is_first_party(self) -> bool:
+        return self in (PartyLabel.FIRST_PARTY, PartyLabel.FIRST_PARTY_ATS)
+
+    @property
+    def is_third_party(self) -> bool:
+        return not self.is_first_party
+
+    @property
+    def is_ats(self) -> bool:
+        return self in (PartyLabel.FIRST_PARTY_ATS, PartyLabel.THIRD_PARTY_ATS)
+
+
+@dataclass(frozen=True)
+class DestinationLabel:
+    """Full destination annotation for one FQDN."""
+
+    fqdn: str
+    esld: str
+    party: PartyLabel
+    owner: str | None
+
+    @property
+    def is_ats(self) -> bool:
+        return self.party.is_ats
+
+
+@dataclass
+class DestinationLabeler:
+    """Labels destinations relative to one audited service.
+
+    ``service_names`` are name fragments matched against the eSLD
+    (``roblox`` matches ``roblox.com`` *and* ``rbxcdn.com`` only via
+    the owner check, which is why both signals exist, as in the paper).
+    """
+
+    service_names: tuple[str, ...]
+    first_party_owner: str
+    entity_db: EntityDatabase = field(default_factory=default_entity_db)
+    blocklists: BlockListCollection = field(default_factory=default_blocklists)
+    whois_client: WhoisClient | None = None
+
+    def __post_init__(self) -> None:
+        self._cache: dict[str, DestinationLabel] = {}
+
+    def _owner_of(self, fqdn: str) -> str | None:
+        owner = self.entity_db.owner_of(fqdn)
+        if owner is None and self.whois_client is not None:
+            owner = self.whois_client.registrant(esld_of(fqdn))
+        return owner
+
+    def _is_first_party(self, fqdn: str, owner: str | None) -> bool:
+        domain = esld_of(fqdn) or fqdn
+        base_label = domain.split(".")[0]
+        for fragment in self.service_names:
+            fragment = fragment.lower()
+            if fragment and (fragment in base_label or base_label in fragment):
+                return True
+        return owner is not None and owner == self.first_party_owner
+
+    def label(self, fqdn: str) -> DestinationLabel:
+        """Label one destination; results are memoized per labeler."""
+        fqdn = fqdn.lower().rstrip(".")
+        cached = self._cache.get(fqdn)
+        if cached is not None:
+            return cached
+        owner = self._owner_of(fqdn)
+        first = self._is_first_party(fqdn, owner)
+        ats = self.blocklists.is_ats(fqdn)
+        if first and ats:
+            party = PartyLabel.FIRST_PARTY_ATS
+        elif first:
+            party = PartyLabel.FIRST_PARTY
+        elif ats:
+            party = PartyLabel.THIRD_PARTY_ATS
+        else:
+            party = PartyLabel.THIRD_PARTY
+        result = DestinationLabel(fqdn=fqdn, esld=esld_of(fqdn), party=party, owner=owner)
+        self._cache[fqdn] = result
+        return result
+
+    def label_many(self, fqdns: list[str]) -> dict[str, DestinationLabel]:
+        return {fqdn: self.label(fqdn) for fqdn in fqdns}

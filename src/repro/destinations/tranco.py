@@ -1,0 +1,93 @@
+"""Tranco-style popularity ranking of the domain universe (paper §2.2).
+
+"The websites of these six services are among the most popular on the
+top 1M Tranco list at the time this work was conducted (Fall 2023):
+Roblox, TikTok, and YouTube were among the top 100."
+
+A deterministic popularity ranking over every eSLD in the simulated
+universe: service eSLDs at their real-world-shaped ranks, big shared
+trackers high, long-tail trackers spread across the remainder of the
+top 1M.  Used by selection/reporting and as a popularity prior for
+anything that wants one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.destinations.dataset import default_universe
+
+_TOP_LIST_SIZE = 1_000_000
+
+# Fall-2023-shaped ranks for the audited services' primary domains.
+_PINNED_RANKS: dict[str, int] = {
+    "youtube.com": 2,
+    "google.com": 1,
+    "tiktok.com": 36,
+    "roblox.com": 64,
+    "duolingo.com": 890,
+    "quizlet.com": 480,
+    "minecraft.net": 1_850,
+    "googleapis.com": 7,
+    "doubleclick.net": 22,
+    "google-analytics.com": 18,
+    "googletagmanager.com": 15,
+    "facebook.com": 3,
+    "gstatic.com": 9,
+    "cloudfront.net": 30,
+    "amazonaws.com": 25,
+    "googlevideo.com": 11,
+    "microsoft.com": 5,
+    "live.com": 16,
+    "xboxlive.com": 940,
+    "mojang.com": 2_600,
+}
+
+
+@dataclass(frozen=True)
+class TrancoEntry:
+    domain: str
+    rank: int
+
+
+class TrancoList:
+    """Rank lookups over the universe's eSLDs."""
+
+    def __init__(self) -> None:
+        universe = default_universe()
+        self._ranks: dict[str, int] = {}
+        taken = set(_PINNED_RANKS.values())
+        for domain in universe.eslds():
+            pinned = _PINNED_RANKS.get(domain)
+            if pinned is not None:
+                self._ranks[domain] = pinned
+                continue
+            # Deterministic spread across 1K..1M, skipping collisions.
+            digest = hashlib.sha256(b"tranco|" + domain.encode()).digest()
+            rank = 1_000 + int.from_bytes(digest[:4], "big") % (_TOP_LIST_SIZE - 1_000)
+            while rank in taken:
+                rank += 1
+            taken.add(rank)
+            self._ranks[domain] = rank
+
+    def rank_of(self, domain: str) -> int | None:
+        """The domain's rank, or None when outside the top 1M."""
+        return self._ranks.get(domain)
+
+    def top(self, n: int) -> list[TrancoEntry]:
+        entries = sorted(self._ranks.items(), key=lambda item: item[1])[:n]
+        return [TrancoEntry(domain=d, rank=r) for d, r in entries]
+
+    def in_top(self, domain: str, n: int) -> bool:
+        rank = self.rank_of(domain)
+        return rank is not None and rank <= n
+
+    def __len__(self) -> int:
+        return len(self._ranks)
+
+
+@lru_cache(maxsize=1)
+def default_tranco() -> TrancoList:
+    return TrancoList()

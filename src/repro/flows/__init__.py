@@ -1,0 +1,12 @@
+"""Data flows: ``<data type category, destination>`` (paper §3.2.1).
+
+* :mod:`repro.flows.dataflow` — flow records and the aggregated
+  :class:`FlowTable` with the Table 4 grid roll-up;
+* :mod:`repro.flows.builder` — construct flows from parsed requests
+  using a classifier (data types) and a destination labeler (parties).
+"""
+
+from repro.flows.dataflow import FlowObservation, FlowTable
+from repro.flows.builder import FlowBuilder, GroundTruthClassifier
+
+__all__ = ["FlowObservation", "FlowTable", "FlowBuilder", "GroundTruthClassifier"]

@@ -1,0 +1,166 @@
+"""Flow records and aggregation.
+
+A *data flow* is a ``<data type category, destination>`` pair observed
+in a trace (paper §3.2.1).  :class:`FlowObservation` carries the full
+audit context (service, column, platform, party label);
+:class:`FlowTable` aggregates observations into the structures the
+results section consumes: the Table 4 grid, unique-flow counts, and
+per-destination data type sets for the linkability analysis.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.destinations.party import PartyLabel
+from repro.model import FlowCell, Platform, Presence, TraceColumn
+from repro.ontology import ONTOLOGY
+from repro.ontology.nodes import Level2, Level3
+
+
+def cell_for(party: PartyLabel) -> FlowCell:
+    """Map a destination's party label to its Table 4 flow cell."""
+    return {
+        PartyLabel.FIRST_PARTY: FlowCell.COLLECT_1ST,
+        PartyLabel.FIRST_PARTY_ATS: FlowCell.COLLECT_1ST_ATS,
+        PartyLabel.THIRD_PARTY: FlowCell.SHARE_3RD,
+        PartyLabel.THIRD_PARTY_ATS: FlowCell.SHARE_3RD_ATS,
+    }[party]
+
+
+@dataclass(frozen=True)
+class FlowObservation:
+    """One observed data flow with its audit context."""
+
+    service: str
+    column: TraceColumn
+    platform: Platform
+    level3: Level3
+    fqdn: str
+    esld: str
+    party: PartyLabel
+    raw_key: str = ""
+
+    @property
+    def level2(self) -> Level2:
+        return ONTOLOGY.level2_of(self.level3)
+
+    @property
+    def cell(self) -> FlowCell:
+        return cell_for(self.party)
+
+    @property
+    def flow_pair(self) -> tuple[Level3, str]:
+        """The paper's unique-flow identity <data type, destination>."""
+        return (self.level3, self.fqdn)
+
+
+class FlowTable:
+    """All flow observations of a corpus, with audit-ready roll-ups."""
+
+    def __init__(self) -> None:
+        self._observations: list[FlowObservation] = []
+        # (service, level2, column, cell) -> {platforms observed}
+        self._grid: dict[tuple, set[Platform]] = defaultdict(set)
+        # (service, column, fqdn) -> {level3 types} for third parties
+        self._per_destination: dict[tuple, set[Level3]] = defaultdict(set)
+        self._party_by_fqdn: dict[tuple[str, str], PartyLabel] = {}
+
+    def add(self, observation: FlowObservation) -> None:
+        self._observations.append(observation)
+        self._grid[
+            (
+                observation.service,
+                observation.level2,
+                observation.column,
+                observation.cell,
+            )
+        ].add(observation.platform)
+        if observation.party.is_third_party:
+            self._per_destination[
+                (observation.service, observation.column, observation.fqdn)
+            ].add(observation.level3)
+        self._party_by_fqdn[(observation.service, observation.fqdn)] = observation.party
+
+    def extend(self, observations: list[FlowObservation]) -> None:
+        for observation in observations:
+            self.add(observation)
+
+    def __len__(self) -> int:
+        return len(self._observations)
+
+    def observations(self) -> list[FlowObservation]:
+        return list(self._observations)
+
+    # -- paper-facing aggregates ---------------------------------------
+
+    def unique_flows(self) -> set[tuple[Level3, str]]:
+        """Unique <data type, destination> pairs (paper: 5,508)."""
+        return {observation.flow_pair for observation in self._observations}
+
+    def unique_data_types(self) -> set[str]:
+        """Unique raw data types observed in flows."""
+        return {o.raw_key for o in self._observations if o.raw_key}
+
+    def services(self) -> list[str]:
+        return sorted({o.service for o in self._observations})
+
+    def presence(
+        self,
+        service: str,
+        level2: Level2,
+        column: TraceColumn,
+        cell: FlowCell,
+    ) -> Presence:
+        """The Table 4 symbol for one grid cell.
+
+        Desktop observations merge into the web side, as the paper
+        merges desktop-app traces with the website platform.
+        """
+        platforms = self._grid.get((service, level2, column, cell), set())
+        web = bool({Platform.WEB, Platform.DESKTOP} & platforms)
+        mobile = Platform.MOBILE in platforms
+        return Presence.from_platforms(web=web, mobile=mobile)
+
+    def grid_for(self, service: str) -> dict[tuple[Level2, TraceColumn, FlowCell], Presence]:
+        """The full Table 4 row block for one service."""
+        from repro.model import ALL_COLUMNS
+
+        out = {}
+        for level2 in Level2:
+            for column in ALL_COLUMNS:
+                for cell in FlowCell:
+                    out[(level2, column, cell)] = self.presence(
+                        service, level2, column, cell
+                    )
+        return out
+
+    def observed_level2(self, service: str | None = None) -> set[Level2]:
+        return {
+            o.level2
+            for o in self._observations
+            if service is None or o.service == service
+        }
+
+    def observed_level3(self, service: str | None = None) -> set[Level3]:
+        return {
+            o.level3
+            for o in self._observations
+            if service is None or o.service == service
+        }
+
+    # -- linkability inputs ---------------------------------------------
+
+    def third_party_type_sets(
+        self, service: str, column: TraceColumn
+    ) -> dict[str, set[Level3]]:
+        """Per-third-party data type sets for one service and column."""
+        out: dict[str, set[Level3]] = {}
+        for (svc, col, fqdn), types in self._per_destination.items():
+            if svc == service and col == column:
+                out[fqdn] = set(types)
+        return out
+
+    def party_of(self, service: str, fqdn: str) -> PartyLabel | None:
+        return self._party_by_fqdn.get((service, fqdn))

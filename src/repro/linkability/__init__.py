@@ -1,0 +1,32 @@
+"""Data linkability analysis (paper §4.2).
+
+Linkable data: at least one *identifier* and at least one *personal
+information* data type sent to the same third party, enabling tracking
+and profiling (after Powar & Beresford's linkage-risk SoK).
+
+* :mod:`repro.linkability.analysis` — per-service/per-column linkable
+  third-party counts (Figure 3), linkable set sizes (Figure 4), the
+  most common linkable set, and the destination census (§4.2 totals);
+* :mod:`repro.linkability.alluvial` — the Figure 5 aggregation: top
+  third-party ATS organizations receiving linkable data.
+"""
+
+from repro.linkability.analysis import (
+    DestinationCensus,
+    LinkabilityResult,
+    analyze_linkability,
+    destination_census,
+    most_common_linkable_set,
+)
+from repro.linkability.alluvial import AlluvialEdge, alluvial_edges, top_ats_organizations
+
+__all__ = [
+    "DestinationCensus",
+    "LinkabilityResult",
+    "analyze_linkability",
+    "destination_census",
+    "most_common_linkable_set",
+    "AlluvialEdge",
+    "alluvial_edges",
+    "top_ats_organizations",
+]

@@ -1,0 +1,136 @@
+"""Shared vocabulary types used across the DiffAudit pipeline.
+
+These enums mirror the paper's experimental dimensions:
+
+* :class:`AgeGroup` — the COPPA/CCPA age brackets (§2.1);
+* :class:`TraceKind` — account creation / logged-in / logged-out
+  collection modes (§3.1);
+* :class:`TraceColumn` — the four columns of Table 4 (the age-specific
+  columns merge account-creation and logged-in traces; logged-out has
+  no age);
+* :class:`Platform` — website, mobile app, desktop app (§3.1.1–3.1.3);
+* :class:`FlowCell` — collect (1st party) vs share (3rd party), ATS or
+  not — the four destination classes of Table 4;
+* :class:`Presence` — on which platforms a data flow was observed
+  (the •/web/mobile/— symbols of Table 4).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class AgeGroup(str, enum.Enum):
+    """COPPA/CCPA age brackets."""
+
+    CHILD = "child"  # younger than 13 (COPPA)
+    ADOLESCENT = "adolescent"  # 13-15 (CCPA opt-in band)
+    ADULT = "adult"  # 16 and older
+
+    @property
+    def protected(self) -> bool:
+        """True for the under-16 groups with opt-in requirements."""
+        return self is not AgeGroup.ADULT
+
+
+class TraceKind(str, enum.Enum):
+    """How a trace was collected (paper §3.1)."""
+
+    ACCOUNT_CREATION = "account_creation"
+    LOGGED_IN = "logged_in"
+    LOGGED_OUT = "logged_out"
+
+    @property
+    def consented(self) -> bool:
+        """Consent/age are only known once an account exists."""
+        return self is not TraceKind.LOGGED_OUT
+
+
+class TraceColumn(str, enum.Enum):
+    """The four audit columns of Table 4."""
+
+    CHILD = "child"
+    ADOLESCENT = "adolescent"
+    ADULT = "adult"
+    LOGGED_OUT = "logged_out"
+
+    @classmethod
+    def for_trace(cls, kind: TraceKind, age: AgeGroup | None) -> "TraceColumn":
+        """Map a collected trace to its audit column."""
+        if kind is TraceKind.LOGGED_OUT:
+            return cls.LOGGED_OUT
+        if age is None:
+            raise ValueError("age-specific trace requires an age group")
+        return cls(age.value)
+
+    @property
+    def age_group(self) -> AgeGroup | None:
+        if self is TraceColumn.LOGGED_OUT:
+            return None
+        return AgeGroup(self.value)
+
+
+class Platform(str, enum.Enum):
+    WEB = "web"
+    MOBILE = "mobile"
+    DESKTOP = "desktop"
+
+
+class FlowCell(str, enum.Enum):
+    """Destination class of a data flow (Table 4 column groups)."""
+
+    COLLECT_1ST = "collect_1st"
+    COLLECT_1ST_ATS = "collect_1st_ats"
+    SHARE_3RD = "share_3rd"
+    SHARE_3RD_ATS = "share_3rd_ats"
+
+    @property
+    def is_share(self) -> bool:
+        return self in (FlowCell.SHARE_3RD, FlowCell.SHARE_3RD_ATS)
+
+    @property
+    def is_ats(self) -> bool:
+        return self in (FlowCell.COLLECT_1ST_ATS, FlowCell.SHARE_3RD_ATS)
+
+
+class Presence(str, enum.Enum):
+    """Platform presence of a flow — Table 4's cell symbols."""
+
+    BOTH = "both"  # •
+    WEB_ONLY = "web"  # mouse-pointer symbol
+    MOBILE_ONLY = "mobile"  # mobile symbol
+    NONE = "none"  # —
+
+    def on(self, platform: Platform) -> bool:
+        """Should/was this flow (be) observed on ``platform``?
+
+        Desktop traces behave like the website for Table 4 purposes —
+        the paper captures them with Proxyman into HAR and merges them
+        with web.
+        """
+        if self is Presence.NONE:
+            return False
+        if self is Presence.BOTH:
+            return True
+        if self is Presence.WEB_ONLY:
+            return platform in (Platform.WEB, Platform.DESKTOP)
+        return platform is Platform.MOBILE
+
+    @classmethod
+    def from_platforms(cls, web: bool, mobile: bool) -> "Presence":
+        if web and mobile:
+            return cls.BOTH
+        if web:
+            return cls.WEB_ONLY
+        if mobile:
+            return cls.MOBILE_ONLY
+        return cls.NONE
+
+
+AGE_COLUMNS: tuple[TraceColumn, ...] = (
+    TraceColumn.CHILD,
+    TraceColumn.ADOLESCENT,
+    TraceColumn.ADULT,
+)
+
+ALL_COLUMNS: tuple[TraceColumn, ...] = AGE_COLUMNS + (TraceColumn.LOGGED_OUT,)

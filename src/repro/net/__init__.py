@@ -1,0 +1,37 @@
+"""Networking substrate.
+
+Everything the DiffAudit pipeline needs to handle raw traces:
+
+* :mod:`repro.net.url` — URL parsing and FQDN extraction;
+* :mod:`repro.net.psl` — public-suffix-list engine (``tldextract``
+  substitute) for eSLD extraction;
+* :mod:`repro.net.http` — HTTP request/response message model;
+* :mod:`repro.net.har` — HAR 1.2 reader/writer (website and desktop
+  traces);
+* :mod:`repro.net.packet` — Ethernet/IPv4/IPv6/TCP header codecs;
+* :mod:`repro.net.tcp` — TCP segmentation and flow reassembly;
+* :mod:`repro.net.tls` — TLS record framing, NSS key-log files, and
+  keylog-based decryption (``editcap`` substitute);
+* :mod:`repro.net.pcap` — binary libpcap reader/writer (mobile traces).
+"""
+
+from repro.net.url import Url, parse_url
+from repro.net.psl import PublicSuffixList, ExtractResult, default_psl, extract
+from repro.net.http import Header, HttpRequest, HttpResponse
+from repro.net.har import Har, HarEntry, read_har, write_har
+
+__all__ = [
+    "Url",
+    "parse_url",
+    "PublicSuffixList",
+    "ExtractResult",
+    "default_psl",
+    "extract",
+    "Header",
+    "HttpRequest",
+    "HttpResponse",
+    "Har",
+    "HarEntry",
+    "read_har",
+    "write_har",
+]

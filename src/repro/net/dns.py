@@ -1,0 +1,83 @@
+"""DNS resolution simulator: A/AAAA records and CNAME chains.
+
+Two pipeline roles:
+
+* **forward resolution** — every FQDN in the universe resolves to a
+  deterministic address (the same mapping the traffic generator uses
+  for server IPs), so destination analysis can correlate packet
+  addresses back to names;
+* **CNAME chains** — CDN-fronted hosts alias through their provider,
+  and, more interestingly for auditors, *CNAME-cloaked trackers* hide
+  behind first-party subdomains (``metrics.example.com`` CNAME
+  ``collect.tracker.net``).  FQDN-level block lists miss these; the
+  uncloaking analysis in :mod:`repro.destinations.cname` uses this
+  resolver to catch them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+MAX_CHAIN_LENGTH = 8
+
+
+class DnsError(ValueError):
+    """Raised on resolution loops or overlong CNAME chains."""
+
+
+@dataclass(frozen=True)
+class DnsAnswer:
+    """Outcome of one resolution."""
+
+    name: str  # the queried name
+    address: str  # final A record
+    chain: tuple[str, ...]  # CNAME chain walked (excluding the query)
+
+    @property
+    def canonical_name(self) -> str:
+        """The final name the address belongs to."""
+        return self.chain[-1] if self.chain else self.name
+
+
+def synthetic_address(fqdn: str) -> str:
+    """Deterministic public-looking IPv4 for a hostname."""
+    digest = hashlib.sha256(b"dns|" + fqdn.encode()).digest()
+    return f"{34 + digest[0] % 100}.{digest[1]}.{digest[2]}.{1 + digest[3] % 253}"
+
+
+@dataclass
+class Resolver:
+    """A stub resolver over an explicit CNAME zone.
+
+    Anything without a CNAME entry resolves directly to its synthetic
+    address — the universe has no NXDOMAIN because the generator only
+    contacts names it created.
+    """
+
+    cnames: dict[str, str] = field(default_factory=dict)
+
+    def add_cname(self, alias: str, target: str) -> None:
+        alias, target = alias.lower(), target.lower()
+        if alias == target:
+            raise DnsError(f"CNAME to self: {alias!r}")
+        self.cnames[alias] = target
+
+    def resolve(self, fqdn: str) -> DnsAnswer:
+        """Follow CNAMEs to the final A record."""
+        fqdn = fqdn.lower().rstrip(".")
+        chain: list[str] = []
+        current = fqdn
+        seen = {current}
+        while current in self.cnames:
+            current = self.cnames[current]
+            if current in seen:
+                raise DnsError(f"CNAME loop at {current!r}")
+            seen.add(current)
+            chain.append(current)
+            if len(chain) > MAX_CHAIN_LENGTH:
+                raise DnsError(f"CNAME chain too long from {fqdn!r}")
+        return DnsAnswer(name=fqdn, address=synthetic_address(current), chain=tuple(chain))
+
+    def is_alias(self, fqdn: str) -> bool:
+        return fqdn.lower().rstrip(".") in self.cnames

@@ -1,0 +1,212 @@
+"""HAR 1.2 reader/writer (website and desktop traces).
+
+Chrome DevTools and Proxyman export HTTP Archive files; the paper's
+pipeline converts them to JSON and extracts outgoing requests
+(§3.1.2, §3.2).  This module models the subset of the HAR 1.2 spec the
+pipeline consumes — request method/URL/headers/cookies/query/postData —
+and round-trips it losslessly for the fields we care about.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.net.http import Header, HttpRequest, HttpResponse
+from repro.net.url import parse_url
+
+
+class HarError(ValueError):
+    """Raised for malformed HAR documents."""
+
+
+@dataclass
+class HarEntry:
+    """One request/response pair plus timing metadata."""
+
+    request: HttpRequest
+    response: HttpResponse = field(default_factory=HttpResponse)
+    started: float = 0.0  # epoch seconds
+    time_ms: float = 0.0
+    server_ip: str = ""
+    connection: str = ""
+    page_ref: str = ""
+
+
+@dataclass
+class Har:
+    """A HAR log: creator metadata plus ordered entries."""
+
+    entries: list[HarEntry] = field(default_factory=list)
+    creator_name: str = "repro-diffaudit"
+    creator_version: str = "1.0"
+    comment: str = ""
+
+    def outgoing_requests(self) -> list[HttpRequest]:
+        """All requests in trace order — the pipeline's input."""
+        return [entry.request for entry in self.entries]
+
+
+def _epoch_to_iso(epoch: float) -> str:
+    # HAR wants ISO 8601; we render UTC with millisecond precision
+    # without importing datetime formatting subtleties into hot paths.
+    import datetime as _dt
+
+    stamp = _dt.datetime.fromtimestamp(epoch, tz=_dt.timezone.utc)
+    return stamp.strftime("%Y-%m-%dT%H:%M:%S.") + f"{stamp.microsecond // 1000:03d}Z"
+
+
+def _iso_to_epoch(text: str) -> float:
+    import datetime as _dt
+
+    text = text.replace("Z", "+00:00")
+    return _dt.datetime.fromisoformat(text).timestamp()
+
+
+def _request_to_json(request: HttpRequest) -> dict:
+    post_data = {}
+    if request.body:
+        content_type = request.header("Content-Type") or "application/octet-stream"
+        try:
+            text = request.body.decode("utf-8")
+            post_data = {"mimeType": content_type, "text": text}
+        except UnicodeDecodeError:
+            post_data = {
+                "mimeType": content_type,
+                "text": base64.b64encode(request.body).decode("ascii"),
+                "encoding": "base64",
+            }
+    return {
+        "method": request.method,
+        "url": str(request.url),
+        "httpVersion": request.http_version,
+        "headers": [{"name": h.name, "value": h.value} for h in request.headers],
+        "cookies": [{"name": n, "value": v} for n, v in request.cookies()],
+        "queryString": [
+            {"name": n, "value": v} for n, v in request.url.query_pairs()
+        ],
+        "headersSize": -1,
+        "bodySize": len(request.body),
+        **({"postData": post_data} if post_data else {}),
+    }
+
+
+def _response_to_json(response: HttpResponse) -> dict:
+    return {
+        "status": response.status,
+        "statusText": response.status_text,
+        "httpVersion": response.http_version,
+        "headers": [{"name": h.name, "value": h.value} for h in response.headers],
+        "cookies": [],
+        "content": {
+            "size": len(response.body),
+            "mimeType": response.header("Content-Type") or "application/octet-stream",
+            "text": response.body.decode("utf-8", errors="replace"),
+        },
+        "redirectURL": "",
+        "headersSize": -1,
+        "bodySize": len(response.body),
+    }
+
+
+def har_to_json(har: Har) -> dict:
+    """Render a :class:`Har` as a HAR 1.2 JSON document."""
+    return {
+        "log": {
+            "version": "1.2",
+            "creator": {"name": har.creator_name, "version": har.creator_version},
+            "comment": har.comment,
+            "entries": [
+                {
+                    "startedDateTime": _epoch_to_iso(entry.started),
+                    "time": entry.time_ms,
+                    "request": _request_to_json(entry.request),
+                    "response": _response_to_json(entry.response),
+                    "cache": {},
+                    "timings": {"send": 0, "wait": entry.time_ms, "receive": 0},
+                    "serverIPAddress": entry.server_ip,
+                    "connection": entry.connection,
+                    **({"pageref": entry.page_ref} if entry.page_ref else {}),
+                }
+                for entry in har.entries
+            ],
+        }
+    }
+
+
+def _request_from_json(obj: dict, started: float) -> HttpRequest:
+    headers = [Header(h["name"], h["value"]) for h in obj.get("headers", [])]
+    body = b""
+    post = obj.get("postData")
+    if post and post.get("text"):
+        if post.get("encoding") == "base64":
+            body = base64.b64decode(post["text"])
+        else:
+            body = post["text"].encode("utf-8")
+    return HttpRequest(
+        method=obj["method"],
+        url=parse_url(obj["url"]),
+        headers=headers,
+        body=body,
+        http_version=obj.get("httpVersion", "HTTP/1.1"),
+        timestamp=started,
+    )
+
+
+def _response_from_json(obj: dict) -> HttpResponse:
+    headers = [Header(h["name"], h["value"]) for h in obj.get("headers", [])]
+    content = obj.get("content", {})
+    body = (content.get("text") or "").encode("utf-8")
+    return HttpResponse(
+        status=obj.get("status", 0),
+        status_text=obj.get("statusText", ""),
+        headers=headers,
+        body=body,
+        http_version=obj.get("httpVersion", "HTTP/1.1"),
+    )
+
+
+def har_from_json(doc: dict) -> Har:
+    """Parse a HAR 1.2 JSON document; raises :class:`HarError` when the
+    required structure is missing."""
+    try:
+        log = doc["log"]
+        raw_entries = log["entries"]
+    except (KeyError, TypeError) as exc:
+        raise HarError("document missing log.entries") from exc
+    creator = log.get("creator", {})
+    har = Har(
+        creator_name=creator.get("name", "unknown"),
+        creator_version=creator.get("version", "0"),
+        comment=log.get("comment", ""),
+    )
+    for raw in raw_entries:
+        try:
+            started = _iso_to_epoch(raw["startedDateTime"])
+            request = _request_from_json(raw["request"], started)
+        except (KeyError, ValueError) as exc:
+            raise HarError(f"malformed HAR entry: {exc}") from exc
+        har.entries.append(
+            HarEntry(
+                request=request,
+                response=_response_from_json(raw.get("response", {})),
+                started=started,
+                time_ms=raw.get("time", 0.0),
+                server_ip=raw.get("serverIPAddress", ""),
+                connection=raw.get("connection", ""),
+                page_ref=raw.get("pageref", ""),
+            )
+        )
+    return har
+
+
+def write_har(har: Har, path: str | Path) -> None:
+    """Write a HAR file to disk (UTF-8 JSON)."""
+    Path(path).write_text(json.dumps(har_to_json(har), indent=1), encoding="utf-8")
+
+
+def read_har(path: str | Path) -> Har:
+    """Read a HAR file from disk."""
+    return har_from_json(json.loads(Path(path).read_text(encoding="utf-8")))

@@ -1,0 +1,187 @@
+"""HTTP/1.1 message model, serializer, and parser.
+
+Mobile traces carry HTTP requests as bytes inside TCP payloads inside
+PCAP files; website traces carry them as HAR entries.  Both converge on
+:class:`HttpRequest` / :class:`HttpResponse`, the common currency of
+the post-processing pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.url import Url, parse_url
+
+
+class HttpParseError(ValueError):
+    """Raised when bytes cannot be parsed as an HTTP/1.1 message."""
+
+
+@dataclass(frozen=True)
+class Header:
+    """A single header field; name comparisons are case-insensitive."""
+
+    name: str
+    value: str
+
+    def matches(self, name: str) -> bool:
+        return self.name.lower() == name.lower()
+
+
+@dataclass
+class HttpRequest:
+    """An outgoing HTTP request observed in a trace."""
+
+    method: str
+    url: Url
+    headers: list[Header] = field(default_factory=list)
+    body: bytes = b""
+    http_version: str = "HTTP/1.1"
+    timestamp: float = 0.0
+
+    def header(self, name: str) -> str | None:
+        """First header value with the given name, or None."""
+        for header in self.headers:
+            if header.matches(name):
+                return header.value
+        return None
+
+    def cookies(self) -> list[tuple[str, str]]:
+        """Parsed ``Cookie`` header pairs (empty list when absent)."""
+        raw = self.header("Cookie")
+        if not raw:
+            return []
+        pairs: list[tuple[str, str]] = []
+        for piece in raw.split(";"):
+            piece = piece.strip()
+            if not piece:
+                continue
+            name, _, value = piece.partition("=")
+            pairs.append((name.strip(), value.strip()))
+        return pairs
+
+    @property
+    def content_type(self) -> str:
+        value = self.header("Content-Type") or ""
+        return value.split(";")[0].strip().lower()
+
+    def to_bytes(self) -> bytes:
+        """Serialize as an HTTP/1.1 on-the-wire request."""
+        target = self.url.path + (f"?{self.url.query}" if self.url.query else "")
+        lines = [f"{self.method} {target} {self.http_version}"]
+        names = {header.name.lower() for header in self.headers}
+        if "host" not in names:
+            lines.append(f"Host: {self.url.host}")
+        for header in self.headers:
+            lines.append(f"{header.name}: {header.value}")
+        if self.body and "content-length" not in names:
+            lines.append(f"Content-Length: {len(self.body)}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + self.body
+
+    @classmethod
+    def from_bytes(cls, data: bytes, scheme: str = "https", timestamp: float = 0.0) -> "HttpRequest":
+        """Parse an on-the-wire request back into the model.
+
+        The scheme is not on the wire; callers supply it from transport
+        context (port 443 ⇒ https).
+        """
+        head, sep, body = data.partition(b"\r\n\r\n")
+        if not sep:
+            raise HttpParseError("missing header/body separator")
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, target, version = lines[0].split(" ", 2)
+        except ValueError as exc:
+            raise HttpParseError(f"bad request line: {lines[0]!r}") from exc
+        headers = []
+        host = ""
+        for line in lines[1:]:
+            name, colon, value = line.partition(":")
+            if not colon:
+                raise HttpParseError(f"bad header line: {line!r}")
+            header = Header(name=name.strip(), value=value.strip())
+            headers.append(header)
+            if header.matches("Host"):
+                host = header.value
+        if not host:
+            raise HttpParseError("request missing Host header")
+        url = parse_url(f"{scheme}://{host}{target}")
+        length_text = next(
+            (h.value for h in headers if h.matches("Content-Length")), None
+        )
+        if length_text is not None:
+            body = body[: int(length_text)]
+        return cls(
+            method=method,
+            url=url,
+            headers=headers,
+            body=body,
+            http_version=version,
+            timestamp=timestamp,
+        )
+
+
+def parse_request_stream(
+    data: bytes, scheme: str = "https", timestamp: float = 0.0
+) -> list[HttpRequest]:
+    """Parse a pipelined client→server byte stream into requests.
+
+    Connection reuse puts several requests back to back on one TCP
+    flow; this walks the stream using Content-Length framing.  A
+    trailing partial request (truncated capture) is dropped, matching
+    how Wireshark-based pipelines behave on incomplete flows.
+    """
+    requests: list[HttpRequest] = []
+    position = 0
+    while position < len(data):
+        separator = data.find(b"\r\n\r\n", position)
+        if separator == -1:
+            break
+        head = data[position : separator + 4]
+        try:
+            prefix = HttpRequest.from_bytes(head + b"", scheme=scheme)
+        except HttpParseError:
+            break
+        length_text = prefix.header("Content-Length")
+        body_length = int(length_text) if length_text else 0
+        end = separator + 4 + body_length
+        if end > len(data):
+            break  # truncated trailing request
+        try:
+            request = HttpRequest.from_bytes(
+                data[position:end], scheme=scheme, timestamp=timestamp
+            )
+        except HttpParseError:
+            break
+        requests.append(request)
+        position = end
+    return requests
+
+
+@dataclass
+class HttpResponse:
+    """A response; DiffAudit only audits *outgoing* data, so responses
+    exist mainly to make HAR files well-formed."""
+
+    status: int = 200
+    status_text: str = "OK"
+    headers: list[Header] = field(default_factory=list)
+    body: bytes = b""
+    http_version: str = "HTTP/1.1"
+
+    def header(self, name: str) -> str | None:
+        for header in self.headers:
+            if header.matches(name):
+                return header.value
+        return None
+
+    def to_bytes(self) -> bytes:
+        lines = [f"{self.http_version} {self.status} {self.status_text}"]
+        for header in self.headers:
+            lines.append(f"{header.name}: {header.value}")
+        names = {header.name.lower() for header in self.headers}
+        if "content-length" not in names:
+            lines.append(f"Content-Length: {len(self.body)}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + self.body

@@ -1,0 +1,123 @@
+"""Binary libpcap (``.pcap``) reader and writer.
+
+Implements the classic pcap file format (magic ``0xa1b2c3d4``,
+microsecond timestamps, LINKTYPE_ETHERNET) that PCAPdroid produces.
+Both byte orders are read; files are written little-endian like
+tcpdump on Android.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+
+MAGIC_LE = 0xA1B2C3D4
+LINKTYPE_ETHERNET = 1
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER_LE = struct.Struct("<IIII")
+_RECORD_HEADER_BE = struct.Struct(">IIII")
+SNAPLEN = 262144
+
+
+class PcapError(ValueError):
+    """Raised on malformed pcap files."""
+
+
+@dataclass(frozen=True)
+class PcapPacket:
+    """One captured record: timestamp plus raw link-layer bytes."""
+
+    timestamp: float
+    data: bytes
+    orig_len: int | None = None
+
+    @property
+    def captured_len(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class PcapFile:
+    """An in-memory pcap: global header fields plus packet records."""
+
+    packets: list[PcapPacket] = field(default_factory=list)
+    linktype: int = LINKTYPE_ETHERNET
+    snaplen: int = SNAPLEN
+
+    def append(self, packet: PcapPacket) -> None:
+        self.packets.append(packet)
+
+    def to_bytes(self) -> bytes:
+        chunks = [
+            _GLOBAL_HEADER.pack(
+                MAGIC_LE, 2, 4, 0, 0, self.snaplen, self.linktype
+            )
+        ]
+        for packet in self.packets:
+            seconds = int(packet.timestamp)
+            micros = int(round((packet.timestamp - seconds) * 1_000_000))
+            if micros == 1_000_000:
+                seconds += 1
+                micros = 0
+            orig = packet.orig_len if packet.orig_len is not None else len(packet.data)
+            chunks.append(
+                _RECORD_HEADER_LE.pack(seconds, micros, len(packet.data), orig)
+            )
+            chunks.append(packet.data)
+        return b"".join(chunks)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "PcapFile":
+        if len(blob) < _GLOBAL_HEADER.size:
+            raise PcapError("file shorter than global header")
+        (magic,) = struct.unpack("<I", blob[:4])
+        if magic == MAGIC_LE:
+            byte_order, nanos = "<", False
+        elif magic == 0xD4C3B2A1:
+            byte_order, nanos = ">", False
+        elif magic == 0xA1B23C4D:
+            byte_order, nanos = "<", True
+        elif magic == 0x4D3CB2A1:
+            byte_order, nanos = ">", True
+        else:
+            raise PcapError(f"bad magic 0x{magic:08x}")
+        header = struct.Struct(byte_order + "IHHiIII")
+        (_, major, minor, _tz, _sig, snaplen, linktype) = header.unpack(
+            blob[: header.size]
+        )
+        if (major, minor) != (2, 4):
+            raise PcapError(f"unsupported pcap version {major}.{minor}")
+        pcap = cls(linktype=linktype, snaplen=snaplen)
+        record = _RECORD_HEADER_LE if byte_order == "<" else _RECORD_HEADER_BE
+        position = header.size
+        divisor = 1_000_000_000 if nanos else 1_000_000
+        while position < len(blob):
+            if position + record.size > len(blob):
+                raise PcapError("truncated record header")
+            seconds, fraction, caplen, orig_len = record.unpack(
+                blob[position : position + record.size]
+            )
+            position += record.size
+            if position + caplen > len(blob):
+                raise PcapError("truncated record body")
+            data = blob[position : position + caplen]
+            position += caplen
+            pcap.packets.append(
+                PcapPacket(
+                    timestamp=seconds + fraction / divisor,
+                    data=data,
+                    orig_len=orig_len,
+                )
+            )
+        return pcap
+
+    def write(self, path: str | Path) -> None:
+        Path(path).write_bytes(self.to_bytes())
+
+    @classmethod
+    def read(cls, path: str | Path) -> "PcapFile":
+        return cls.from_bytes(Path(path).read_bytes())
+
+    def __len__(self) -> int:
+        return len(self.packets)

@@ -1,0 +1,219 @@
+"""TLS record framing, NSS key-log files, and keylog-based decryption.
+
+The paper decrypts mobile traffic by installing PCAPdroid's certificate,
+saving a TLS key log, and embedding the keys into the PCAP with
+``editcap`` before Wireshark decryption (§3.1.1, §3.2).  We reproduce
+the *workflow* faithfully with a simulated cipher:
+
+* application data is wrapped in TLS 1.3-shaped records
+  (``type=23, version=0x0303, length``);
+* each session has a 32-byte ``CLIENT_TRAFFIC_SECRET`` recorded in NSS
+  key-log format (the exact format PCAPdroid emits);
+* the record payload is encrypted with a keystream derived from the
+  secret (SHA-256 counter mode) — cryptographically toy, but decryption
+  *requires* the right secret, so the "no keylog ⇒ opaque bytes" code
+  path is real, including certificate-pinned sessions whose secrets
+  never reach the log (Frida-bypass failures).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+
+RECORD_TYPE_APPDATA = 23
+RECORD_VERSION = 0x0303
+MAX_RECORD_LEN = 16384
+
+
+class TlsError(ValueError):
+    """Raised on malformed records or missing key material."""
+
+
+def _keystream(secret: bytes, client_random: bytes, length: int) -> bytes:
+    """Deterministic keystream: SHA-256(secret || random || counter)."""
+    blocks: list[bytes] = []
+    counter = 0
+    while sum(len(b) for b in blocks) < length:
+        blocks.append(
+            hashlib.sha256(secret + client_random + struct.pack("!Q", counter)).digest()
+        )
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def _xor(data: bytes, keystream: bytes) -> bytes:
+    return bytes(a ^ b for a, b in zip(data, keystream))
+
+
+@dataclass(frozen=True)
+class TlsSession:
+    """Key material for one TLS connection."""
+
+    client_random: bytes  # 32 bytes, identifies the session in the keylog
+    secret: bytes  # 32 bytes traffic secret
+
+    def __post_init__(self) -> None:
+        if len(self.client_random) != 32 or len(self.secret) != 32:
+            raise TlsError("client_random and secret must be 32 bytes")
+
+    @classmethod
+    def derive(cls, seed: bytes) -> "TlsSession":
+        """Deterministically derive a session from generator state."""
+        client_random = hashlib.sha256(b"client-random|" + seed).digest()
+        secret = hashlib.sha256(b"traffic-secret|" + seed).digest()
+        return cls(client_random=client_random, secret=secret)
+
+
+def encrypt_stream(plaintext: bytes, session: TlsSession) -> bytes:
+    """Wrap plaintext into encrypted TLS application-data records."""
+    records: list[bytes] = []
+    offset = 0
+    for start in range(0, len(plaintext), MAX_RECORD_LEN):
+        chunk = plaintext[start : start + MAX_RECORD_LEN]
+        keystream = _keystream(
+            session.secret, session.client_random + struct.pack("!Q", offset), len(chunk)
+        )
+        ciphertext = _xor(chunk, keystream)
+        records.append(
+            struct.pack("!BHH", RECORD_TYPE_APPDATA, RECORD_VERSION, len(ciphertext))
+            + ciphertext
+        )
+        offset += 1
+    return b"".join(records)
+
+
+def iter_records(stream: bytes):
+    """Yield (record_type, body) for each TLS record in a byte stream."""
+    position = 0
+    while position < len(stream):
+        if position + 5 > len(stream):
+            raise TlsError("truncated TLS record header")
+        record_type, version, length = struct.unpack(
+            "!BHH", stream[position : position + 5]
+        )
+        if version != RECORD_VERSION:
+            raise TlsError(f"unexpected TLS version 0x{version:04x}")
+        body = stream[position + 5 : position + 5 + length]
+        if len(body) != length:
+            raise TlsError("truncated TLS record body")
+        yield record_type, body
+        position += 5 + length
+
+
+def decrypt_stream(stream: bytes, session: TlsSession) -> bytes:
+    """Recover plaintext from records given the session's secret."""
+    chunks: list[bytes] = []
+    for offset, (record_type, body) in enumerate(iter_records(stream)):
+        if record_type != RECORD_TYPE_APPDATA:
+            continue
+        keystream = _keystream(
+            session.secret, session.client_random + struct.pack("!Q", offset), len(body)
+        )
+        chunks.append(_xor(body, keystream))
+    return b"".join(chunks)
+
+
+def looks_like_tls(stream: bytes) -> bool:
+    """Cheap sniff used by the post-processor to route flows.
+
+    Matches either a pseudo-ClientHello (``16 03`` handshake magic) or
+    a bare application-data record stream.
+    """
+    if len(stream) >= 2 and stream[:2] == b"\x16\x03":
+        return True
+    return (
+        len(stream) >= 5
+        and stream[0] == RECORD_TYPE_APPDATA
+        and struct.unpack("!H", stream[1:3])[0] == RECORD_VERSION
+    )
+
+
+_KEYLOG_LABEL = "CLIENT_TRAFFIC_SECRET_0"
+
+
+@dataclass
+class KeyLog:
+    """An NSS key-log file: ``LABEL <client_random_hex> <secret_hex>``."""
+
+    secrets: dict[bytes, bytes] = field(default_factory=dict)  # random -> secret
+
+    def record(self, session: TlsSession) -> None:
+        self.secrets[session.client_random] = session.secret
+
+    def lookup(self, client_random: bytes) -> TlsSession | None:
+        secret = self.secrets.get(client_random)
+        if secret is None:
+            return None
+        return TlsSession(client_random=client_random, secret=secret)
+
+    def to_text(self) -> str:
+        return "".join(
+            f"{_KEYLOG_LABEL} {random.hex()} {secret.hex()}\n"
+            for random, secret in self.secrets.items()
+        )
+
+    @classmethod
+    def from_text(cls, text: str) -> "KeyLog":
+        log = cls()
+        for line_number, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise TlsError(f"bad keylog line {line_number}: {line!r}")
+            label, random_hex, secret_hex = parts
+            if label != _KEYLOG_LABEL:
+                continue  # other labels (handshake secrets) are ignored
+            log.secrets[bytes.fromhex(random_hex)] = bytes.fromhex(secret_hex)
+        return log
+
+    def write(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_text(), encoding="ascii")
+
+    @classmethod
+    def read(cls, path: str | Path) -> "KeyLog":
+        return cls.from_text(Path(path).read_text(encoding="ascii"))
+
+
+@dataclass(frozen=True)
+class ClientHello:
+    """The pseudo-ClientHello prefixed to every encrypted flow.
+
+    Carries exactly what a passive observer of real TLS sees in the
+    clear: the client random (for keylog lookup) and the SNI hostname
+    (so destinations of *undecryptable* flows are still attributable —
+    the paper includes encrypted traffic in its domain counts, §3.1.1).
+    """
+
+    client_random: bytes
+    sni: str
+
+
+def wrap_with_hello(stream: bytes, session: TlsSession, sni: str) -> bytes:
+    """Prefix the pseudo-ClientHello (magic + random + SNI)."""
+    sni_bytes = sni.encode("idna") if sni else b""
+    if len(sni_bytes) > 0xFFFF:
+        raise TlsError("SNI too long")
+    return (
+        b"\x16\x03"
+        + session.client_random
+        + struct.pack("!H", len(sni_bytes))
+        + sni_bytes
+        + stream
+    )
+
+
+def unwrap_hello(stream: bytes) -> tuple[ClientHello | None, bytes]:
+    """Split off the pseudo-ClientHello; returns (hello, records)."""
+    if len(stream) < 36 or stream[:2] != b"\x16\x03":
+        return None, stream
+    client_random = stream[2:34]
+    (sni_length,) = struct.unpack("!H", stream[34:36])
+    if len(stream) < 36 + sni_length:
+        raise TlsError("truncated ClientHello SNI")
+    sni = stream[36 : 36 + sni_length].decode("idna") if sni_length else ""
+    return ClientHello(client_random=client_random, sni=sni), stream[36 + sni_length :]

@@ -1,0 +1,190 @@
+"""Minimal, strict URL parsing tailored to traffic auditing.
+
+The pipeline only ever needs scheme, host (FQDN), port, path, and the
+query string split into key-value pairs; fragments and userinfo are
+parsed but ignored downstream.  We implement this ourselves rather than
+using :mod:`urllib.parse` wrappers so that query-key extraction
+(percent-decoding, repeated keys, bare flags) matches what the data
+type extractor expects.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_SCHEME_RE = re.compile(r"^([a-zA-Z][a-zA-Z0-9+.-]*):")
+_DEFAULT_PORTS = {"http": 80, "https": 443, "ws": 80, "wss": 443}
+
+
+class UrlError(ValueError):
+    """Raised for URLs the auditing pipeline cannot interpret."""
+
+
+def _percent_decode(text: str) -> str:
+    """Decode %XX escapes as UTF-8 byte sequences (and '+' as space)."""
+    out = bytearray()
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "%":
+            hex_part = text[i + 1 : i + 3]
+            if len(hex_part) == 2 and all(
+                c in "0123456789abcdefABCDEF" for c in hex_part
+            ):
+                out.append(int(hex_part, 16))
+                i += 3
+                continue
+        if ch == "+":
+            out.append(0x20)
+            i += 1
+            continue
+        out.extend(ch.encode("utf-8"))
+        i += 1
+    return out.decode("utf-8", errors="replace")
+
+
+def percent_encode(text: str, safe: str = "") -> str:
+    """Percent-encode a query component (RFC 3986 unreserved kept)."""
+    unreserved = (
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-._~" + safe
+    )
+    out: list[str] = []
+    for ch in text:
+        if ch in unreserved:
+            out.append(ch)
+        else:
+            out.extend(f"%{byte:02X}" for byte in ch.encode("utf-8"))
+    return "".join(out)
+
+
+def parse_query(query: str) -> list[tuple[str, str]]:
+    """Split a query string into decoded (key, value) pairs.
+
+    Bare flags (``?debug``) become ``("debug", "")``.  Repeated keys are
+    preserved in order — the extractor counts each occurrence once per
+    key name.
+    """
+    pairs: list[tuple[str, str]] = []
+    if not query:
+        return pairs
+    for piece in query.split("&"):
+        if not piece:
+            continue
+        key, sep, value = piece.partition("=")
+        pairs.append((_percent_decode(key), _percent_decode(value) if sep else ""))
+    return pairs
+
+
+def encode_query(pairs: list[tuple[str, str]]) -> str:
+    """Inverse of :func:`parse_query`."""
+    return "&".join(
+        f"{percent_encode(key)}={percent_encode(value)}" if value else percent_encode(key)
+        for key, value in pairs
+    )
+
+
+@dataclass(frozen=True)
+class Url:
+    """A parsed URL.  ``host`` is always lowercase."""
+
+    scheme: str
+    host: str
+    port: int
+    path: str = "/"
+    query: str = ""
+    fragment: str = ""
+
+    @property
+    def fqdn(self) -> str:
+        """The fully qualified domain name used for destination analysis."""
+        return self.host
+
+    @property
+    def origin(self) -> str:
+        default = _DEFAULT_PORTS.get(self.scheme)
+        if default == self.port:
+            return f"{self.scheme}://{self.host}"
+        return f"{self.scheme}://{self.host}:{self.port}"
+
+    def query_pairs(self) -> list[tuple[str, str]]:
+        return parse_query(self.query)
+
+    def __str__(self) -> str:
+        url = self.origin + self.path
+        if self.query:
+            url += "?" + self.query
+        if self.fragment:
+            url += "#" + self.fragment
+        return url
+
+
+def parse_url(raw: str) -> Url:
+    """Parse an absolute http(s)/ws(s) URL.
+
+    Raises :class:`UrlError` on relative URLs, unsupported schemes, or
+    empty hosts — the auditing pipeline treats those as trace corruption
+    rather than silently skipping them.
+    """
+    match = _SCHEME_RE.match(raw)
+    if not match:
+        raise UrlError(f"URL missing scheme: {raw!r}")
+    scheme = match.group(1).lower()
+    if scheme not in _DEFAULT_PORTS:
+        raise UrlError(f"unsupported scheme {scheme!r} in {raw!r}")
+    rest = raw[match.end() :]
+    if not rest.startswith("//"):
+        raise UrlError(f"URL missing authority: {raw!r}")
+    rest = rest[2:]
+
+    fragment = ""
+    if "#" in rest:
+        rest, fragment = rest.split("#", 1)
+    query = ""
+    if "?" in rest:
+        rest, query = rest.split("?", 1)
+    if "/" in rest:
+        authority, path = rest.split("/", 1)
+        path = "/" + path
+    else:
+        authority, path = rest, "/"
+    if "@" in authority:  # strip userinfo
+        authority = authority.rsplit("@", 1)[1]
+
+    host = authority
+    port = _DEFAULT_PORTS[scheme]
+    if authority.startswith("["):  # IPv6 literal
+        closing = authority.find("]")
+        if closing == -1:
+            raise UrlError(f"unterminated IPv6 literal in {raw!r}")
+        host = authority[1:closing]
+        port_part = authority[closing + 1 :]
+        if port_part.startswith(":"):
+            port = int(port_part[1:])
+    elif ":" in authority:
+        host, port_text = authority.rsplit(":", 1)
+        if not port_text.isdigit():
+            raise UrlError(f"invalid port in {raw!r}")
+        port = int(port_text)
+    if not host:
+        raise UrlError(f"empty host in {raw!r}")
+    if not 0 < port < 65536:
+        raise UrlError(f"port out of range in {raw!r}")
+    return Url(
+        scheme=scheme,
+        host=host.lower().rstrip("."),
+        port=port,
+        path=path,
+        query=query,
+        fragment=fragment,
+    )
+
+
+_IPV4_RE = re.compile(r"^\d{1,3}(\.\d{1,3}){3}$")
+
+
+def is_ip_literal(host: str) -> bool:
+    """True for IPv4 dotted quads and IPv6 literals (no eSLD exists)."""
+    if _IPV4_RE.match(host):
+        return all(0 <= int(part) <= 255 for part in host.split("."))
+    return ":" in host

@@ -1,0 +1,45 @@
+"""COPPA/CCPA data type ontology (paper Table 5).
+
+The ontology is a four-level tree rooted at the legal definitions of
+*identifiers* and *personal information* in COPPA (16 C.F.R. § 312.2)
+and CCPA (Cal. Civ. Code § 1798.140):
+
+* level 1 — ``Identifiers`` and ``Personal Information``;
+* level 2 — eight broad groups (personal identifiers, device
+  identifiers, personal characteristics, personal history, geolocation,
+  user communications, sensors, user interests and behavior);
+* level 3 — the 35 classification labels used by the data type
+  classifiers (paper Table 2);
+* level 4 — concrete example data types for each label, used as the
+  classifier lexicon / few-shot examples.
+
+Public API::
+
+    from repro.ontology import ONTOLOGY, Level2, Level3
+
+    ONTOLOGY.label_names()          # the 35 level-3 label strings
+    ONTOLOGY.node("Coarse Geolocation").level2
+    ONTOLOGY.examples_for("Aliases")
+"""
+
+from repro.ontology.nodes import (
+    Level1,
+    Level2,
+    Level3,
+    Ontology,
+    OntologyNode,
+)
+from repro.ontology.coppa_ccpa import ONTOLOGY, OBSERVED_LEVEL3
+from repro.ontology.lexicon import Lexicon, build_default_lexicon
+
+__all__ = [
+    "Level1",
+    "Level2",
+    "Level3",
+    "Ontology",
+    "OntologyNode",
+    "ONTOLOGY",
+    "OBSERVED_LEVEL3",
+    "Lexicon",
+    "build_default_lexicon",
+]

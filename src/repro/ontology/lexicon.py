@@ -1,0 +1,281 @@
+"""Lexicon: token-level knowledge derived from the ontology.
+
+The raw data types extracted from network traffic are key strings in a
+myriad of formats — ``email``, ``os``, ``rtt``,
+``pers_ad_show_third_part_measurement``, ``IsOptOutEmailShown`` (paper
+§3.2.2).  The lexicon maps individual tokens (after snake/camel-case
+splitting and abbreviation expansion) to the level-3 labels they
+evidence, with a weight per (token, label) pair.
+
+It is the shared knowledge base of the GPT-4-substitute classifier and
+the embedding baselines, and the vocabulary source for the traffic
+generator's payload synthesis.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.ontology.nodes import Level3, Ontology
+
+# Abbreviations seen in real traffic keys, expanded before matching.
+# Mirrors the classifier prompt instruction: "For text with acronyms and
+# abbreviations, use the meaning of the acronyms ... to do the
+# classification."
+ABBREVIATIONS: dict[str, tuple[str, ...]] = {
+    "os": ("operating", "system"),
+    "ua": ("user", "agent"),
+    "rtt": ("round", "trip", "time"),
+    "ttfb": ("time", "first", "byte"),
+    "ip": ("ip", "address"),
+    "geo": ("geolocation",),
+    "lat": ("latitude",),
+    "lon": ("longitude",),
+    "lng": ("longitude",),
+    "tz": ("timezone",),
+    "ts": ("timestamp",),
+    "dob": ("date", "birth"),
+    "pwd": ("password",),
+    "msg": ("message",),
+    "img": ("image",),
+    "adv": ("advertising",),
+    "ad": ("advertisement",),
+    "ads": ("advertisement",),
+    "adid": ("advertising", "identifier"),
+    "gaid": ("advertising", "identifier"),
+    "idfa": ("advertising", "identifier"),
+    "imei": ("device", "hardware", "identifier"),
+    "mac": ("mac", "address"),
+    "uid": ("user", "identifier"),
+    "uuid": ("unique", "identifier"),
+    "guid": ("unique", "identifier"),
+    "id": ("identifier",),
+    "ids": ("identifier",),
+    "cfg": ("settings",),
+    "config": ("settings",),
+    "prefs": ("preferences",),
+    "pref": ("preference",),
+    "auth": ("authentication",),
+    "authn": ("authentication",),
+    "sess": ("session",),
+    "sid": ("session", "identifier"),
+    "req": ("request",),
+    "resp": ("response",),
+    "res": ("resolution",),
+    "px": ("pixel",),
+    "lang": ("language",),
+    "loc": ("location",),
+    "cc": ("country", "code"),
+    "fps": ("frames", "per", "second"),
+    "abr": ("adaptive", "bitrate"),
+    "cpu": ("cpu",),
+    "gpu": ("gpu", "device"),
+    "mem": ("memory",),
+    "dl": ("download",),
+    "ul": ("upload",),
+    "sdk": ("sdk",),
+    "api": ("api",),
+    "url": ("url",),
+    "uri": ("uri",),
+    "dom": ("dom",),
+    "cdn": ("cdn",),
+    "dns": ("dns",),
+    "tls": ("tls",),
+    "tcp": ("tcp",),
+    "vid": ("video",),
+    "aud": ("audio",),
+    "dur": ("duration",),
+    "pers": ("personalized",),
+    "usr": ("user",),
+    "acct": ("account",),
+    "num": ("number",),
+    "tel": ("telephone",),
+    "pii": ("personal", "information"),
+    "ver": ("version",),
+    "env": ("environment",),
+    "app": ("application",),
+    "ref": ("referer",),
+    "utm": ("marketing", "campaign"),
+    "fp": ("fingerprint",),
+    "bday": ("birthday",),
+    "yob": ("birth", "year"),
+    "gdpr": ("consent",),
+    "ccpa": ("consent",),
+    "coppa": ("consent",),
+    "hw": ("hardware",),
+    "sw": ("software",),
+    "eml": ("email",),
+    "addr": ("address",),
+    "fname": ("first", "name"),
+    "lname": ("last", "name"),
+    "uname": ("user", "name"),
+    "cntry": ("country",),
+    "rgn": ("region",),
+    "scr": ("screen",),
+    "mdl": ("model",),
+    "gndr": ("gender",),
+    "crd": ("coordinates",),
+    "impr": ("impression",),
+    "cmp": ("campaign",),
+    "seg": ("segment",),
+    "tkn": ("token",),
+    "hist": ("history",),
+    "qry": ("query",),
+    "conn": ("connection",),
+    "proto": ("protocol",),
+}
+
+_CAMEL_RE = re.compile(r"(?<=[a-z0-9])(?=[A-Z])|(?<=[A-Z])(?=[A-Z][a-z])")
+_SPLIT_RE = re.compile(r"[^A-Za-z0-9]+")
+
+# Generic tokens carrying no categorical signal on their own.
+STOP_TOKENS: frozenset[str] = frozenset(
+    {
+        "the",
+        "a",
+        "an",
+        "of",
+        "is",
+        "are",
+        "to",
+        "for",
+        "and",
+        "or",
+        "with",
+        "in",
+        "on",
+        "at",
+        "x",
+        "y",
+        "z",
+        "v",
+        "n",
+        "s",
+        "t",
+        "info",
+        "information",
+        "type",
+        "value",
+        "values",
+        "flag",
+        "new",
+        "old",
+        "current",
+        "last",
+        "first",
+        "next",
+        "per",
+        "shown",
+        "enabled",
+        "disabled",
+        "has",
+        "was",
+        "show",
+        "part",
+        "get",
+        "set",
+        "opt",
+        "cur",
+        "raw",
+        "blob",
+        "hdr",
+        "sync",
+        "state",
+        "snapshot",
+        "measurement",
+    }
+)
+
+
+def split_key(raw: str) -> list[str]:
+    """Split a raw traffic key into lowercase word tokens.
+
+    Handles snake_case, kebab-case, dotted paths, and camelCase, e.g.
+    ``"IsOptOutEmailShown"`` → ``["is", "opt", "out", "email", "shown"]``.
+    """
+    parts: list[str] = []
+    for chunk in _SPLIT_RE.split(raw):
+        if not chunk:
+            continue
+        parts.extend(p for p in _CAMEL_RE.split(chunk) if p)
+    return [p.lower() for p in parts]
+
+
+def expand_tokens(tokens: list[str]) -> list[str]:
+    """Expand known abbreviations; unknown tokens pass through."""
+    out: list[str] = []
+    for token in tokens:
+        out.extend(ABBREVIATIONS.get(token, (token,)))
+    return out
+
+
+def tokenize_key(raw: str) -> list[str]:
+    """Full normalization pipeline: split, expand, drop stop tokens."""
+    return [
+        token
+        for token in expand_tokens(split_key(raw))
+        if token not in STOP_TOKENS and not token.isdigit()
+    ]
+
+
+@dataclass
+class Lexicon:
+    """(token → label → weight) evidence table built from an ontology.
+
+    Multi-word ontology examples contribute their component tokens with
+    weight split across the phrase; exact phrase matches are kept
+    separately with full weight so that e.g. ``"mac address"`` scores
+    higher for Device Hardware Identifiers than ``"address"`` alone.
+    """
+
+    token_weights: dict[str, dict[Level3, float]] = field(default_factory=dict)
+    phrases: dict[tuple[str, ...], Level3] = field(default_factory=dict)
+
+    def add_example(self, label: Level3, example: str, weight: float = 1.0) -> None:
+        tokens = tokenize_key(example)
+        if not tokens:
+            return
+        if len(tokens) > 1:
+            self.phrases[tuple(tokens)] = label
+        per_token = weight / len(tokens)
+        for token in tokens:
+            slot = self.token_weights.setdefault(token, {})
+            slot[label] = max(slot.get(label, 0.0), per_token if len(tokens) > 1 else weight)
+
+    def score(self, raw_key: str) -> dict[Level3, float]:
+        """Score a raw key against every label; higher is stronger."""
+        tokens = tokenize_key(raw_key)
+        scores: dict[Level3, float] = defaultdict(float)
+        if not tokens:
+            return dict(scores)
+        # Phrase evidence: contiguous subsequences matching an example.
+        n = len(tokens)
+        for length in range(min(n, 4), 1, -1):
+            for start in range(n - length + 1):
+                window = tuple(tokens[start : start + length])
+                label = self.phrases.get(window)
+                if label is not None:
+                    scores[label] += 2.0 * length
+        # Token evidence.
+        for token in tokens:
+            for label, weight in self.token_weights.get(token, {}).items():
+                scores[label] += weight
+        # Normalize by sqrt of key length: long decorated keys should
+        # not dominate, but a two-token key with one exact-match token
+        # ("request_id") is still strong evidence.
+        norm = n**0.5
+        return {label: value / norm for label, value in scores.items()}
+
+    def vocabulary(self) -> frozenset[str]:
+        return frozenset(self.token_weights)
+
+
+def build_default_lexicon(ontology: Ontology) -> Lexicon:
+    """Build the lexicon from every level-4 example in the ontology."""
+    lexicon = Lexicon()
+    for node in ontology:
+        for example in node.examples:
+            lexicon.add_example(node.level3, example)
+    return lexicon

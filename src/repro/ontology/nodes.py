@@ -1,0 +1,169 @@
+"""Ontology node types and the :class:`Ontology` container.
+
+The ontology is immutable once constructed.  Nodes are addressed by
+their level-3 label string (e.g. ``"Coarse Geolocation"``), which is
+what the classifiers emit and what data flows carry.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Level1(str, enum.Enum):
+    """Top-level legal split (COPPA § 312.2 / CCPA § 1798.140)."""
+
+    IDENTIFIERS = "Identifiers"
+    PERSONAL_INFORMATION = "Personal Information"
+
+
+class Level2(str, enum.Enum):
+    """The eight broad data type groups (paper §3.2.2)."""
+
+    PERSONAL_IDENTIFIERS = "Personal Identifiers"
+    DEVICE_IDENTIFIERS = "Device Identifiers"
+    PERSONAL_CHARACTERISTICS = "Personal Characteristics"
+    PERSONAL_HISTORY = "Personal History"
+    GEOLOCATION = "Geolocation"
+    USER_COMMUNICATIONS = "User Communications"
+    SENSORS = "Sensors"
+    USER_INTERESTS_AND_BEHAVIORS = "User Interests and Behaviors"
+
+
+class Level3(str, enum.Enum):
+    """The 35 classification labels (paper Table 2)."""
+
+    # --- Identifiers / Personal Identifiers -------------------------
+    NAME = "Name"
+    LINKED_PERSONAL_IDENTIFIERS = "Linked Personal Identifiers"
+    CONTACT_INFORMATION = "Contact Information"
+    REASONABLY_LINKABLE_PERSONAL_IDENTIFIERS = (
+        "Reasonably Linkable Personal Identifiers"
+    )
+    ALIASES = "Aliases"
+    CUSTOMER_NUMBERS = "Customer Numbers"
+    LOGIN_INFORMATION = "Login Information"
+    # --- Identifiers / Device Identifiers ---------------------------
+    DEVICE_HARDWARE_IDENTIFIERS = "Device Hardware Identifiers"
+    DEVICE_SOFTWARE_IDENTIFIERS = "Device Software Identifiers"
+    DEVICE_INFORMATION = "Device Information"
+    # --- Personal Information / Personal Characteristics ------------
+    RACE = "Race"
+    AGE = "Age"
+    LANGUAGE = "Language"
+    RELIGION = "Religion"
+    GENDER_SEX = "Gender/Sex"
+    MARITAL_STATUS = "Marital Status"
+    MILITARY_VETERAN_STATUS = "Military/Veteran Status"
+    MEDICAL_CONDITIONS = "Medical Conditions"
+    GENETIC_INFORMATION = "Genetic Information"
+    DISABILITIES = "Disabilities"
+    BIOMETRIC_INFORMATION = "Biometric Information"
+    # --- Personal Information / Personal History --------------------
+    PERSONAL_HISTORY = "Personal History"
+    # --- Personal Information / Geolocation -------------------------
+    PRECISE_GEOLOCATION = "Precise Geolocation"
+    COARSE_GEOLOCATION = "Coarse Geolocation"
+    LOCATION_TIME = "Location Time"
+    # --- Personal Information / User Communications -----------------
+    COMMUNICATIONS = "Communications"
+    CONTACTS = "Contacts"
+    INTERNET_ACTIVITY = "Internet Activity"
+    NETWORK_CONNECTION_INFORMATION = "Network Connection Information"
+    # --- Personal Information / Sensors -----------------------------
+    SENSOR_DATA = "Sensor Data"
+    # --- Personal Information / User Interests and Behaviors --------
+    PRODUCTS_AND_ADVERTISING = "Products and Advertising"
+    APP_OR_SERVICE_USAGE = "App or Service Usage"
+    ACCOUNT_SETTINGS = "Account Settings"
+    SERVICE_INFORMATION = "Service Information"
+    INFERENCES = "Inferences"
+
+
+@dataclass(frozen=True)
+class OntologyNode:
+    """One level-3 label with its ancestry and level-4 examples."""
+
+    level1: Level1
+    level2: Level2
+    level3: Level3
+    examples: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def label(self) -> str:
+        return self.level3.value
+
+
+class Ontology:
+    """Immutable container over the 35 :class:`OntologyNode` entries.
+
+    Provides the lookups the classifiers and the audit engine rely on:
+    label enumeration, level-3 → level-2/level-1 roll-up, and the
+    example lexicon.
+    """
+
+    def __init__(self, nodes: list[OntologyNode]) -> None:
+        self._nodes: dict[Level3, OntologyNode] = {}
+        for node in nodes:
+            if node.level3 in self._nodes:
+                raise ValueError(f"duplicate ontology node {node.level3!r}")
+            self._nodes[node.level3] = node
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self):
+        return iter(self._nodes.values())
+
+    def __contains__(self, label: str | Level3) -> bool:
+        try:
+            self.node(label)
+        except KeyError:
+            return False
+        return True
+
+    def node(self, label: str | Level3) -> OntologyNode:
+        """Return the node for a level-3 label (string or enum).
+
+        Raises :class:`KeyError` for labels outside the ontology.
+        """
+        try:
+            key = label if isinstance(label, Level3) else Level3(label)
+        except ValueError:
+            raise KeyError(f"unknown ontology label {label!r}") from None
+        return self._nodes[key]
+
+    def label_names(self) -> list[str]:
+        """The 35 level-3 label strings in canonical order."""
+        return [node.label for node in self._nodes.values()]
+
+    def labels(self) -> list[Level3]:
+        return list(self._nodes.keys())
+
+    def examples_for(self, label: str | Level3) -> tuple[str, ...]:
+        """Level-4 example data types for a level-3 label."""
+        return self.node(label).examples
+
+    def level2_of(self, label: str | Level3) -> Level2:
+        """Roll a level-3 label up to its level-2 group."""
+        return self.node(label).level2
+
+    def level1_of(self, label: str | Level3) -> Level1:
+        """Roll a level-3 label up to Identifiers / Personal Information."""
+        return self.node(label).level1
+
+    def labels_under(self, level2: Level2) -> list[Level3]:
+        """All level-3 labels belonging to a level-2 group."""
+        return [
+            node.level3 for node in self._nodes.values() if node.level2 == level2
+        ]
+
+    def is_identifier(self, label: str | Level3) -> bool:
+        """True when the label falls under the Identifiers branch.
+
+        Used by the linkability analysis: linkable data requires at
+        least one identifier *and* one personal-information data type
+        sent to the same third party (paper §4.2).
+        """
+        return self.level1_of(label) is Level1.IDENTIFIERS

@@ -1,0 +1,22 @@
+"""End-to-end DiffAudit pipeline (paper Figure 1).
+
+* :mod:`repro.pipeline.corpus` — generate traces, capture them into
+  HAR/PCAP artifacts, and parse them back (steps 1–2);
+* :mod:`repro.pipeline.dataset` — the Table 1 dataset summary;
+* :mod:`repro.pipeline.diffaudit` — the full audit run: flows,
+  classification, destination analysis, differential audit,
+  linkability (steps 3–5).
+"""
+
+from repro.pipeline.corpus import CorpusProcessor, ParsedTrace
+from repro.pipeline.dataset import DatasetSummary, ServiceDatasetStats
+from repro.pipeline.diffaudit import DiffAudit, DiffAuditResult
+
+__all__ = [
+    "CorpusProcessor",
+    "ParsedTrace",
+    "DatasetSummary",
+    "ServiceDatasetStats",
+    "DiffAudit",
+    "DiffAuditResult",
+]

@@ -1,0 +1,109 @@
+"""Corpus processing: generate → capture → parse back.
+
+The pipeline's contract with the simulator is artifact-shaped: traces
+cross the boundary as HAR JSON and binary PCAP + key-log bytes, so the
+analysis side exercises exactly the parsing the paper's pipeline ran
+on its real captures.  Traces stream one at a time to keep memory flat
+at full scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.capture.base import TraceMeta
+from repro.capture.decrypt import decrypt_mobile_artifact
+from repro.capture.devtools import DevToolsCapture
+from repro.capture.pcapdroid import PcapdroidCapture
+from repro.capture.proxyman import ProxymanCapture
+from repro.model import Platform
+from repro.net.har import har_from_json, har_to_json, write_har
+from repro.net.http import HttpRequest
+from repro.services.generator import CorpusConfig, RawTrace, TrafficGenerator
+
+
+@dataclass
+class ParsedTrace:
+    """One trace unit after the capture → parse round trip."""
+
+    meta: TraceMeta
+    requests: list[HttpRequest] = field(default_factory=list)
+    opaque_hosts: list[str] = field(default_factory=list)  # SNI of undecryptable flows
+    packet_count: int = 0
+    flow_count: int = 0
+    undecryptable_flows: int = 0
+
+    def contacted_hosts(self) -> set[str]:
+        hosts = {request.url.host for request in self.requests}
+        hosts.update(host for host in self.opaque_hosts if host)
+        return hosts
+
+
+@dataclass
+class CorpusProcessor:
+    """Streams :class:`ParsedTrace` records for a corpus config.
+
+    With ``artifacts_dir`` set, every capture artifact is also written
+    to disk (``<trace>.har`` / ``<trace>.pcap`` + ``<trace>.keylog``)
+    the way the study archived its raw data.
+    """
+
+    config: CorpusConfig = field(default_factory=CorpusConfig)
+    artifacts_dir: Path | None = None
+
+    def __post_init__(self) -> None:
+        self.generator = TrafficGenerator(self.config)
+        self._devtools = DevToolsCapture()
+        self._proxyman = ProxymanCapture()
+        self._pcapdroid = PcapdroidCapture()
+        if self.artifacts_dir is not None:
+            self.artifacts_dir = Path(self.artifacts_dir)
+            self.artifacts_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- per-platform round trips ---------------------------------------
+
+    def _process_web(self, trace: RawTrace) -> ParsedTrace:
+        capture = (
+            self._proxyman if trace.platform is Platform.DESKTOP else self._devtools
+        )
+        artifact = capture.capture(trace)
+        if self.artifacts_dir is not None:
+            write_har(artifact.har, self.artifacts_dir / f"{artifact.meta.name}.har")
+        # Round-trip through HAR JSON: the analysis side reads the
+        # serialized form, never the in-memory capture objects.
+        har = har_from_json(har_to_json(artifact.har))
+        connections = {entry.connection for entry in har.entries if entry.connection}
+        return ParsedTrace(
+            meta=artifact.meta,
+            requests=har.outgoing_requests(),
+            packet_count=len(har.entries),
+            flow_count=len(connections),
+        )
+
+    def _process_mobile(self, trace: RawTrace) -> ParsedTrace:
+        artifact = self._pcapdroid.capture(trace)
+        pcap_bytes = artifact.pcap_bytes()
+        keylog_text = artifact.keylog_text()
+        if self.artifacts_dir is not None:
+            (self.artifacts_dir / f"{artifact.meta.name}.pcap").write_bytes(pcap_bytes)
+            (self.artifacts_dir / f"{artifact.meta.name}.keylog").write_text(keylog_text)
+        decryption = decrypt_mobile_artifact(pcap_bytes, keylog_text)
+        return ParsedTrace(
+            meta=artifact.meta,
+            requests=[item.request for item in decryption.requests],
+            opaque_hosts=[contact.host for contact in decryption.opaque],
+            packet_count=decryption.packet_count,
+            flow_count=decryption.flow_count,
+            undecryptable_flows=decryption.undecryptable_flows,
+        )
+
+    def process_trace(self, trace: RawTrace) -> ParsedTrace:
+        if trace.platform is Platform.MOBILE:
+            return self._process_mobile(trace)
+        return self._process_web(trace)
+
+    def __iter__(self) -> Iterator[ParsedTrace]:
+        for trace in self.generator.generate_corpus():
+            yield self.process_trace(trace)

@@ -1,0 +1,33 @@
+"""Rendering of the paper's tables and figures as text artifacts.
+
+Benchmarks print these so a run's output reads like the paper's
+results section; EXPERIMENTS.md records paper-vs-measured per item.
+"""
+
+from repro.reporting.tables import (
+    render_table,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+from repro.reporting.figures import (
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_census,
+)
+
+__all__ = [
+    "render_table",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_table5",
+    "render_fig3",
+    "render_fig4",
+    "render_fig5",
+    "render_census",
+]

@@ -1,0 +1,151 @@
+"""Machine-readable exports of audit results (CSV / JSON).
+
+The paper plans to release DiffAudit's datasets (§5.3); regulators and
+researchers consume flows and findings as data, not prose.  These
+exporters emit stable, documented schemas.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.flows.dataflow import FlowTable
+from repro.model import ALL_COLUMNS
+from repro.pipeline.diffaudit import DiffAuditResult
+
+FLOW_FIELDS = (
+    "service",
+    "column",
+    "platform",
+    "data_type_category",
+    "level2",
+    "level1",
+    "destination",
+    "esld",
+    "party",
+    "raw_key",
+)
+
+
+def flows_to_csv(flows: FlowTable) -> str:
+    """One row per flow observation."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(FLOW_FIELDS)
+    from repro.ontology import ONTOLOGY
+
+    for observation in flows.observations():
+        node = ONTOLOGY.node(observation.level3)
+        writer.writerow(
+            [
+                observation.service,
+                observation.column.value,
+                observation.platform.value,
+                observation.level3.value,
+                node.level2.value,
+                node.level1.value,
+                observation.fqdn,
+                observation.esld,
+                observation.party.value,
+                observation.raw_key,
+            ]
+        )
+    return buffer.getvalue()
+
+
+def findings_to_csv(result: DiffAuditResult) -> str:
+    """One row per audit finding."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["service", "kind", "severity", "law", "column", "category", "cell", "description"]
+    )
+    for service in sorted(result.audits):
+        for finding in result.audits[service].findings:
+            writer.writerow(
+                [
+                    finding.service,
+                    finding.kind.value,
+                    finding.severity.value,
+                    finding.law,
+                    finding.column.value,
+                    finding.level2.value if finding.level2 else "",
+                    finding.cell.value if finding.cell else "",
+                    finding.description,
+                ]
+            )
+    return buffer.getvalue()
+
+
+def result_to_json(result: DiffAuditResult) -> str:
+    """The full result as one JSON document (summary granularity)."""
+    document = {
+        "config": {
+            "seed": result.config.seed,
+            "scale": result.config.scale,
+            "services": sorted(result.audits),
+        },
+        "dataset": {
+            service: {
+                "domains": stats.domain_count,
+                "eslds": stats.esld_count,
+                "packets": stats.packets,
+                "tcp_flows": stats.tcp_flows,
+            }
+            for service, stats in result.dataset.per_service.items()
+        },
+        "dataset_totals": {
+            "domains": result.dataset.total_domains,
+            "eslds": result.dataset.total_eslds,
+            "packets": result.dataset.total_packets,
+            "tcp_flows": result.dataset.total_tcp_flows,
+        },
+        "linkability": {
+            service: {
+                column.value: {
+                    "linkable_third_parties": result.linkability[
+                        (service, column)
+                    ].linkable_third_parties,
+                    "largest_set_size": result.linkability[
+                        (service, column)
+                    ].largest_set_size,
+                    "largest_set": sorted(
+                        level3.value
+                        for level3 in result.linkability[(service, column)].largest_set
+                    ),
+                }
+                for column in ALL_COLUMNS
+            }
+            for service in sorted(result.audits)
+        },
+        "census": {
+            "first_party": result.census.first_party,
+            "first_party_ats": result.census.first_party_ats,
+            "third_party": result.census.third_party,
+            "third_party_ats": result.census.third_party_ats,
+            "organizations": result.census.organizations,
+        },
+        "findings": {
+            service: [
+                {
+                    "kind": finding.kind.value,
+                    "severity": finding.severity.value,
+                    "law": finding.law,
+                    "column": finding.column.value,
+                    "category": finding.level2.value if finding.level2 else None,
+                    "cell": finding.cell.value if finding.cell else None,
+                    "description": finding.description,
+                }
+                for finding in result.audits[service].findings
+            ]
+            for service in sorted(result.audits)
+        },
+        "common_linkable_set": sorted(
+            level3.value for level3 in result.common_linkable_set
+        ),
+        "unique_data_types": result.unique_data_types,
+        "unique_flows": len(result.flows.unique_flows()),
+    }
+    return json.dumps(document, indent=2)

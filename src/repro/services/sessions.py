@@ -1,0 +1,118 @@
+"""Interaction scripts — what the "user" does in each trace.
+
+The paper collected traces by manually exhausting every feature of each
+service (§3.1): account creation flows, then logged-in usage, then a
+shorter logged-out browse.  Sessions model that narrative: an ordered
+list of :class:`Interaction` steps with first-party endpoint paths per
+service category.  The generator attaches the data-flow payloads to
+these steps, so traces read like real product telemetry rather than
+random requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model import AgeGroup, TraceKind
+
+
+@dataclass(frozen=True)
+class Interaction:
+    """One user action and the first-party endpoint it hits."""
+
+    name: str
+    path: str
+    method: str = "POST"
+
+
+_COMMON_LAUNCH = (
+    Interaction("app_launch", "/api/v1/config", "GET"),
+    Interaction("feature_flags", "/api/v1/flags", "GET"),
+    Interaction("telemetry_boot", "/api/v1/telemetry/boot"),
+)
+
+_SIGNUP = (
+    Interaction("age_gate", "/api/v1/signup/age"),
+    Interaction("create_account", "/api/v1/signup/create"),
+    Interaction("consent", "/api/v1/signup/consent"),
+    Interaction("profile_setup", "/api/v1/profile"),
+)
+
+_PARENT_CONSENT = (Interaction("parent_email", "/api/v1/signup/parent-consent"),)
+
+_LOGIN = (
+    Interaction("login", "/api/v1/auth/login"),
+    Interaction("session_refresh", "/api/v1/auth/refresh"),
+)
+
+_BY_CATEGORY: dict[str, tuple[Interaction, ...]] = {
+    "gaming": (
+        Interaction("browse_games", "/api/v1/games/list", "GET"),
+        Interaction("join_game", "/api/v1/games/join"),
+        Interaction("avatar_update", "/api/v1/avatar"),
+        Interaction("chat_send", "/api/v1/chat/send"),
+        Interaction("friends_list", "/api/v1/friends", "GET"),
+        Interaction("purchase_view", "/api/v1/store/items", "GET"),
+        Interaction("match_telemetry", "/api/v1/telemetry/match"),
+        Interaction("leaderboard", "/api/v1/leaderboard", "GET"),
+    ),
+    "social media": (
+        Interaction("feed_scroll", "/api/v1/feed", "GET"),
+        Interaction("video_watch", "/api/v1/video/play"),
+        Interaction("video_like", "/api/v1/video/like"),
+        Interaction("comment_post", "/api/v1/comment"),
+        Interaction("search", "/api/v1/search", "GET"),
+        Interaction("profile_view", "/api/v1/profile/view", "GET"),
+        Interaction("watch_telemetry", "/api/v1/telemetry/watch"),
+        Interaction("share", "/api/v1/share"),
+    ),
+    "education": (
+        Interaction("lesson_start", "/api/v1/lesson/start"),
+        Interaction("lesson_complete", "/api/v1/lesson/complete"),
+        Interaction("study_set_view", "/api/v1/sets/view", "GET"),
+        Interaction("quiz_answer", "/api/v1/quiz/answer"),
+        Interaction("progress_sync", "/api/v1/progress"),
+        Interaction("search", "/api/v1/search", "GET"),
+        Interaction("streak_check", "/api/v1/streak", "GET"),
+        Interaction("achievements", "/api/v1/achievements", "GET"),
+    ),
+}
+
+_SETTINGS = (
+    Interaction("open_settings", "/api/v1/settings", "GET"),
+    Interaction("update_settings", "/api/v1/settings"),
+    Interaction("notification_prefs", "/api/v1/settings/notifications"),
+)
+
+_LOGGED_OUT = (
+    Interaction("landing_page", "/", "GET"),
+    Interaction("browse_public", "/explore", "GET"),
+    Interaction("search_public", "/search", "GET"),
+    Interaction("telemetry_anon", "/api/v1/telemetry/anon"),
+)
+
+
+def script_for(
+    category: str,
+    kind: TraceKind,
+    age: AgeGroup | None,
+    requires_parent_email: bool,
+) -> list[Interaction]:
+    """The ordered interaction script for one trace unit.
+
+    Account-creation traces cover launch + the signup funnel (with the
+    parental-consent step for children on services that require it)
+    plus a short usage burst; logged-in traces cover the full feature
+    sweep; logged-out traces are the shorter anonymous browse the paper
+    describes.
+    """
+    usage = _BY_CATEGORY[category]
+    if kind is TraceKind.LOGGED_OUT:
+        return list(_LOGGED_OUT)
+    if kind is TraceKind.ACCOUNT_CREATION:
+        signup = list(_SIGNUP)
+        if age is AgeGroup.CHILD and requires_parent_email:
+            signup[2:2] = list(_PARENT_CONSENT)
+        return list(_COMMON_LAUNCH) + signup + list(usage[:3])
+    # logged in: exhaust every feature, twice around, plus settings
+    return list(_COMMON_LAUNCH) + list(_LOGIN) + list(usage) + list(_SETTINGS) + list(usage)

@@ -1,0 +1,31 @@
+"""Shared fixtures.
+
+The session-scoped ``full_result`` fixture runs the whole six-service
+pipeline once (at small volume scale — structural results like the
+Table 4 grid and Figures 3/4 are scale-independent) and is shared by
+every integration test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CorpusConfig, DiffAudit
+from repro.services.payloads import PayloadFactory
+
+
+@pytest.fixture(scope="session")
+def payload_factory() -> PayloadFactory:
+    return PayloadFactory()
+
+
+@pytest.fixture(scope="session")
+def full_result():
+    """One full six-service DiffAudit run (shared, ~6 s)."""
+    return DiffAudit(CorpusConfig(scale=0.01)).run()
+
+
+@pytest.fixture(scope="session")
+def two_service_result():
+    """A faster two-service run for cheaper integration checks."""
+    return DiffAudit(CorpusConfig(scale=0.01, services=("tiktok", "youtube"))).run()

@@ -1,0 +1,98 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_service_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["audit", "--services", "myspace"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["audit"])
+        assert args.scale == 0.02
+        assert args.seed == 2023
+        assert args.services is None
+
+
+class TestClassifyCommand:
+    def test_classify_keys(self, capsys):
+        assert main(["classify", "email", "advertising_id"]) == 0
+        output = capsys.readouterr().out
+        assert "Contact Information" in output
+        assert "Device Software Identifiers" in output
+
+    def test_output_format(self, capsys):
+        main(["classify", "email"])
+        line = capsys.readouterr().out.strip()
+        assert line.count(" // ") == 3
+
+
+class TestAuditCommand:
+    def test_summary_output(self, capsys):
+        code = main(
+            ["audit", "--services", "youtube", "--scale", "0.003", "--seed", "7"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "=== youtube ===" in output
+        assert "pre-consent processing: True" in output
+
+    def test_json_output(self, capsys):
+        main(["audit", "--services", "youtube", "--scale", "0.003", "--json"])
+        document = json.loads(capsys.readouterr().out)
+        assert "youtube" in document["dataset"]
+
+    def test_csv_export(self, tmp_path, capsys):
+        main(
+            [
+                "audit",
+                "--services",
+                "youtube",
+                "--scale",
+                "0.003",
+                "--output",
+                str(tmp_path),
+            ]
+        )
+        assert (tmp_path / "flows.csv").exists()
+        assert (tmp_path / "findings.csv").exists()
+
+
+class TestGenerateCommand:
+    def test_writes_artifacts(self, tmp_path, capsys):
+        code = main(
+            [
+                "generate",
+                "--services",
+                "youtube",
+                "--scale",
+                "0.002",
+                "--output",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert list(tmp_path.glob("*.har"))
+        assert list(tmp_path.glob("*.pcap"))
+
+
+class TestReportCommand:
+    def test_table5_static(self, capsys):
+        code = main(
+            ["report", "table5", "--services", "youtube", "--scale", "0.002"]
+        )
+        assert code == 0
+        assert "Data Type Ontology" in capsys.readouterr().out
+
+    def test_fig3(self, capsys):
+        main(["report", "fig3", "--services", "youtube", "--scale", "0.002"])
+        assert "youtube" in capsys.readouterr().out

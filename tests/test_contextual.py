@@ -1,0 +1,156 @@
+"""Unit tests for the contextual-integrity framing (§3.2.1)."""
+
+import pytest
+
+from repro.audit.contextual import (
+    Appropriateness,
+    CiFlow,
+    Recipient,
+    TransmissionPrinciple,
+    ci_flow_for,
+    judge,
+    summarize,
+)
+from repro.destinations.party import PartyLabel
+from repro.flows.dataflow import FlowObservation
+from repro.model import Platform, TraceColumn
+from repro.ontology.nodes import Level3
+
+
+def observation(party=PartyLabel.THIRD_PARTY_ATS, column=TraceColumn.CHILD):
+    return FlowObservation(
+        service="svc",
+        column=column,
+        platform=Platform.WEB,
+        level3=Level3.ALIASES,
+        fqdn="ads.x.example",
+        esld="x.example",
+        party=party,
+        raw_key="uid",
+    )
+
+
+class TestMapping:
+    @pytest.mark.parametrize(
+        "party,recipient",
+        [
+            (PartyLabel.FIRST_PARTY, Recipient.SERVICE_PROVIDER),
+            (PartyLabel.FIRST_PARTY_ATS, Recipient.SERVICE_ANALYTICS),
+            (PartyLabel.THIRD_PARTY, Recipient.THIRD_PARTY_PROCESSOR),
+            (PartyLabel.THIRD_PARTY_ATS, Recipient.ADVERTISING_TRACKER),
+        ],
+    )
+    def test_party_to_recipient(self, party, recipient):
+        assert ci_flow_for(observation(party=party)).recipient is recipient
+
+    @pytest.mark.parametrize(
+        "column,principle",
+        [
+            (TraceColumn.LOGGED_OUT, TransmissionPrinciple.NO_CONSENT),
+            (TraceColumn.CHILD, TransmissionPrinciple.PARENTAL_OPT_IN_REQUIRED),
+            (TraceColumn.ADOLESCENT, TransmissionPrinciple.TEEN_OPT_IN_REQUIRED),
+            (TraceColumn.ADULT, TransmissionPrinciple.NOTICE_AND_CHOICE),
+        ],
+    )
+    def test_column_to_principle(self, column, principle):
+        assert ci_flow_for(observation(column=column)).principle is principle
+
+    def test_subject_names_age(self):
+        assert ci_flow_for(observation(column=TraceColumn.CHILD)).subject == "child user"
+        assert (
+            ci_flow_for(observation(column=TraceColumn.LOGGED_OUT)).subject
+            == "user of unknown age"
+        )
+
+    def test_tuple_shape(self):
+        assert len(ci_flow_for(observation()).as_tuple()) == 5
+
+
+class TestNorms:
+    def test_tracker_flows_pre_consent_inappropriate(self):
+        flow = ci_flow_for(
+            observation(party=PartyLabel.THIRD_PARTY_ATS, column=TraceColumn.LOGGED_OUT)
+        )
+        assert judge(flow) is Appropriateness.INAPPROPRIATE
+
+    def test_protected_age_tracker_flows_inappropriate(self):
+        for column in (TraceColumn.CHILD, TraceColumn.ADOLESCENT):
+            flow = ci_flow_for(observation(column=column))
+            assert judge(flow) is Appropriateness.INAPPROPRIATE
+
+    def test_adult_tracker_flows_conditional(self):
+        flow = ci_flow_for(observation(column=TraceColumn.ADULT))
+        assert judge(flow) is Appropriateness.CONDITIONAL
+
+    def test_first_party_post_consent_appropriate(self):
+        flow = ci_flow_for(
+            observation(party=PartyLabel.FIRST_PARTY, column=TraceColumn.ADULT)
+        )
+        assert judge(flow) is Appropriateness.APPROPRIATE
+
+    def test_first_party_pre_consent_personal_data_conditional(self):
+        flow = ci_flow_for(
+            observation(party=PartyLabel.FIRST_PARTY, column=TraceColumn.LOGGED_OUT)
+        )
+        assert judge(flow) is Appropriateness.CONDITIONAL
+
+    def test_first_party_pre_consent_operational_appropriate(self):
+        """COPPA's internal-operations exception."""
+        flow = CiFlow(
+            sender="svc web client",
+            recipient=Recipient.SERVICE_PROVIDER,
+            subject="user of unknown age",
+            information_type="Network Connection Information",
+            principle=TransmissionPrinciple.NO_CONSENT,
+        )
+        assert judge(flow) is Appropriateness.APPROPRIATE
+
+    def test_pre_consent_third_party_processor_inappropriate(self):
+        flow = ci_flow_for(
+            observation(party=PartyLabel.THIRD_PARTY, column=TraceColumn.LOGGED_OUT)
+        )
+        assert judge(flow) is Appropriateness.INAPPROPRIATE
+
+    def test_third_party_processor_conditional(self):
+        flow = ci_flow_for(
+            observation(party=PartyLabel.THIRD_PARTY, column=TraceColumn.ADULT)
+        )
+        assert judge(flow) is Appropriateness.CONDITIONAL
+
+
+class TestSummary:
+    def test_counts(self):
+        observations = [
+            observation(party=PartyLabel.FIRST_PARTY, column=TraceColumn.ADULT),
+            observation(party=PartyLabel.THIRD_PARTY_ATS, column=TraceColumn.CHILD),
+            observation(party=PartyLabel.THIRD_PARTY, column=TraceColumn.ADULT),
+        ]
+        summary = summarize(observations)
+        assert summary.appropriate == 1
+        assert summary.inappropriate == 1
+        assert summary.conditional == 1
+        assert summary.total == 3
+        assert summary.inappropriate_fraction == pytest.approx(1 / 3)
+
+    def test_empty(self):
+        summary = summarize([])
+        assert summary.total == 0
+        assert summary.inappropriate_fraction == 0.0
+
+    def test_full_corpus_shape(self, full_result):
+        """Over the real corpus: YouTube's only inappropriate flows are
+        pre-consent first-party-analytics collection (it contacts no
+        third parties); Quizlet's inappropriate flows are plentiful in
+        every column."""
+        youtube_in_session = [
+            o
+            for o in full_result.flows.observations()
+            if o.service == "youtube" and o.column is not TraceColumn.LOGGED_OUT
+        ]
+        assert summarize(youtube_in_session).inappropriate == 0
+        quizlet = [
+            o for o in full_result.flows.observations() if o.service == "quizlet"
+        ]
+        summary = summarize(quizlet)
+        assert summary.inappropriate > 1_000
+        assert 0 < summary.inappropriate_fraction < 1

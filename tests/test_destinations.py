@@ -1,0 +1,285 @@
+"""Unit tests for the destination-analysis stack (universe, entities,
+whois, blocklists, party labeling)."""
+
+import pytest
+
+from repro.destinations.blocklists import (
+    BlockList,
+    BlockListCollection,
+    BlockListParseError,
+    build_collection,
+    default_blocklists,
+    render_domain_format,
+    render_hosts_format,
+)
+from repro.destinations.dataset import default_universe
+from repro.destinations.entities import EntityDatabase, default_entity_db, resolve_owner
+from repro.destinations.party import DestinationLabeler, PartyLabel
+from repro.destinations.whois import WhoisClient, WhoisTimeout
+from repro.net.psl import esld
+from repro.services.catalog import service
+
+
+class TestUniverse:
+    def test_deterministic(self):
+        assert default_universe() is default_universe()
+
+    def test_six_first_party_services(self):
+        assert set(default_universe().first_party_infra) == {
+            "duolingo",
+            "minecraft",
+            "quizlet",
+            "roblox",
+            "tiktok",
+            "youtube",
+        }
+
+    def test_org_lookup(self):
+        universe = default_universe()
+        assert universe.org_of_esld("pubmatic.com").name == "PubMatic, Inc."
+        assert universe.org_of_esld("roblox.com").name == "Roblox Corporation"
+        assert universe.org_of_esld("nonexistent.example") is None
+
+    def test_org_of_fqdn_rolls_up(self):
+        universe = default_universe()
+        assert universe.org_of_fqdn("pixel.pubmatic.com").name == "PubMatic, Inc."
+
+    def test_figure5_organizations_present(self):
+        """Every org named in the paper's Figure 5 exists."""
+        names = {org.name for org in default_universe().organizations()}
+        for expected in (
+            "PubMatic, Inc.",
+            "MediaMath, Inc.",
+            "Adform A/S",
+            "Adjust GmbH",
+            "Braze, Inc.",
+            "Tapad, Inc.",
+            "Index Exchange",
+            "OneTrust",
+            "AppsFlyer",
+            "Akamai Technologies",
+            "Magnite, Inc.",
+            "Sharethrough, Inc.",
+            "Snowplow Analytics",
+            "Apptimize, Inc.",
+            "OneSoon Ltd",
+            "Lemon Inc",
+            "Google LLC",
+            "Microsoft Corporation",
+            "Amazon Technologies",
+            "Adobe Inc.",
+        ):
+            assert expected in names, expected
+
+    def test_universe_scale(self):
+        """§4.2-scale universe: enough eSLDs/FQDNs for Table 1."""
+        universe = default_universe()
+        assert len(universe.eslds()) >= 326
+        assert len(universe.ats_fqdns()) >= 485
+        assert len(universe.non_ats_third_party_fqdns()) >= 120
+
+    def test_first_party_ats_hosts_are_first_party_owned(self):
+        universe = default_universe()
+        for service_key in universe.first_party_infra:
+            own = set(universe.first_party_infra[service_key].organization.eslds)
+            for host in universe.first_party_ats_hosts(service_key):
+                assert esld(host) in own, host
+
+
+class TestEntityDatabase:
+    def test_named_orgs_always_covered(self):
+        db = default_entity_db()
+        assert db.owner_of("ads.pubmatic.com") == "PubMatic, Inc."
+        assert db.owner_of("www.roblox.com") == "Roblox Corporation"
+
+    def test_tail_has_gaps(self):
+        """Tracker Radar is head-heavy; some long-tail domains miss."""
+        universe = default_universe()
+        db = EntityDatabase(universe, coverage=0.5, seed=1)
+        tail_eslds = [d for org in universe.tail_ats_orgs for d in org.eslds]
+        missing = [d for d in tail_eslds if db.lookup_esld(d) is None]
+        assert missing  # some gaps exist
+        assert len(missing) < len(tail_eslds)  # but not everything
+
+    def test_coverage_bounds_validated(self):
+        with pytest.raises(ValueError):
+            EntityDatabase(coverage=1.5)
+
+    def test_unknown_domain(self):
+        assert default_entity_db().owner_of("not-in-universe.example") is None
+
+    def test_resolve_owner_whois_fallback(self):
+        universe = default_universe()
+        db = EntityDatabase(universe, coverage=0.0, seed=1)  # tail all missing
+        whois = WhoisClient(universe=universe, redaction_rate=0.0, timeout_rate=0.0)
+        tail_domain = universe.tail_ats_orgs[0].eslds[0]
+        fqdn = next(f for f in universe.ats_fqdns() if esld(f) == tail_domain)
+        assert resolve_owner(fqdn, db, whois) == universe.tail_ats_orgs[0].name
+
+    def test_organizations_set(self):
+        assert len(default_entity_db().organizations()) > 200
+
+
+class TestWhois:
+    def test_deterministic(self):
+        client = WhoisClient()
+        first = client.query("pubmatic.com")
+        second = client.query("pubmatic.com")
+        assert first == second
+
+    def test_named_orgs_never_redacted(self):
+        client = WhoisClient()
+        record = client.query("pubmatic.com")
+        assert record.registrant_org == "PubMatic, Inc."
+        assert not record.redacted
+
+    def test_unknown_domain_times_out(self):
+        with pytest.raises(WhoisTimeout):
+            WhoisClient().query("never-registered.example")
+
+    def test_registrant_swallows_timeouts(self):
+        assert WhoisClient().registrant("never-registered.example") is None
+
+    def test_tail_redactions_exist(self):
+        universe = default_universe()
+        client = WhoisClient(universe=universe, redaction_rate=0.9, timeout_rate=0.0)
+        results = [
+            client.registrant(org.eslds[0]) for org in universe.tail_ats_orgs[:40]
+        ]
+        assert any(r is None for r in results)
+        assert any(r is not None for r in results)
+
+
+class TestBlockListFormats:
+    def test_hosts_format(self):
+        text = "# comment\n0.0.0.0 ads.example.com\n127.0.0.1 t.example.net\n"
+        blocklist = BlockList.from_text("test", text)
+        assert blocklist.blocks("ads.example.com")
+        assert blocklist.blocks("t.example.net")
+        assert not blocklist.blocks("sub.ads.example.com")  # exact only
+        assert not blocklist.blocks("example.com")
+
+    def test_domain_format_blocks_subdomains(self):
+        blocklist = BlockList.from_text("test", "doubleclick.net\n", fmt="domains")
+        assert blocklist.blocks("doubleclick.net")
+        assert blocklist.blocks("ad.doubleclick.net")
+        assert blocklist.blocks("deep.sub.doubleclick.net")
+        assert not blocklist.blocks("notdoubleclick.net")
+
+    def test_wildcard_prefix_stripped(self):
+        blocklist = BlockList.from_text("test", "*.tracker.example\n", fmt="domains")
+        assert blocklist.blocks("x.tracker.example")
+
+    def test_bad_address_rejected(self):
+        with pytest.raises(BlockListParseError):
+            BlockList.from_text("test", "1.2.3.4 ads.example.com\n", fmt="hosts")
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(BlockListParseError):
+            BlockList.from_text("test", "too many fields here\n")
+
+    def test_case_insensitive(self):
+        blocklist = BlockList.from_text("test", "0.0.0.0 Ads.Example.COM\n")
+        assert blocklist.blocks("ads.example.com")
+        assert blocklist.blocks("ADS.EXAMPLE.COM")
+
+    def test_renderers_round_trip(self):
+        hosts = render_hosts_format(["a.example.com", "b.example.net"])
+        parsed = BlockList.from_text("x", hosts, fmt="hosts")
+        assert parsed.blocks("a.example.com")
+        domains = render_domain_format(["example.org"])
+        parsed = BlockList.from_text("y", domains, fmt="domains")
+        assert parsed.blocks("sub.example.org")
+
+
+class TestCollection:
+    def test_any_list_rule(self):
+        a = BlockList.from_text("a", "0.0.0.0 only-in-a.example\n")
+        b = BlockList.from_text("b", "0.0.0.0 only-in-b.example\n")
+        collection = BlockListCollection(lists=[a, b])
+        assert collection.is_ats("only-in-a.example")
+        assert collection.is_ats("only-in-b.example")
+        assert not collection.is_ats("neither.example")
+
+    def test_majority_rule_stricter(self):
+        a = BlockList.from_text("a", "0.0.0.0 x.example\n")
+        b = BlockList.from_text("b", "")
+        c = BlockList.from_text("c", "")
+        collection = BlockListCollection(lists=[a, b, c])
+        assert collection.is_ats("x.example")
+        assert not collection.is_ats_majority("x.example")
+
+    def test_blocking_lists_names(self):
+        a = BlockList.from_text("listA", "0.0.0.0 x.example\n")
+        collection = BlockListCollection(lists=[a])
+        assert collection.blocking_lists("x.example") == ["listA"]
+
+    def test_default_collection_complete_over_ground_truth(self):
+        """Union of the default lists covers every ground-truth ATS
+        host — the property the any-list rule relies on."""
+        universe = default_universe()
+        collection = default_blocklists()
+        for host in universe.all_blocklisted_hosts():
+            assert collection.is_ats(host), host
+
+    def test_default_collection_spares_clean_hosts(self):
+        collection = default_blocklists()
+        assert not collection.is_ats("www.roblox.com")
+        assert not collection.is_ats("api.duolingo.com")
+        assert not collection.is_ats("www.youtube.com")
+
+    def test_individual_lists_incomplete(self):
+        """Beyond the head aggregate, single lists have gaps."""
+        universe = default_universe()
+        collection = build_collection(universe, per_list_coverage=0.6, seed=5)
+        hosts = universe.all_blocklisted_hosts()
+        for blocklist in collection.lists[1:2]:
+            missed = [h for h in hosts if not blocklist.blocks(h)]
+            assert missed
+
+
+class TestPartyLabeling:
+    @pytest.fixture(scope="class")
+    def roblox_labeler(self):
+        spec = service("roblox")
+        return DestinationLabeler(
+            service_names=spec.first_party_names,
+            first_party_owner=spec.first_party_owner,
+        )
+
+    def test_first_party_by_name(self, roblox_labeler):
+        assert roblox_labeler.label("www.roblox.com").party is PartyLabel.FIRST_PARTY
+
+    def test_first_party_by_owner(self, roblox_labeler):
+        # rbxcdn.com matches the 'rbxcdn' fragment and the owner check.
+        assert roblox_labeler.label("c0.rbxcdn.com").party.is_first_party
+
+    def test_first_party_ats(self, roblox_labeler):
+        label = roblox_labeler.label("metrics.roblox.com")
+        assert label.party is PartyLabel.FIRST_PARTY_ATS
+
+    def test_third_party_ats(self, roblox_labeler):
+        label = roblox_labeler.label("ad.doubleclick.net")
+        assert label.party is PartyLabel.THIRD_PARTY_ATS
+
+    def test_third_party_clean(self, roblox_labeler):
+        label = roblox_labeler.label("www.cloudflare.com")
+        assert label.party is PartyLabel.THIRD_PARTY
+
+    def test_google_is_first_party_for_youtube_only(self):
+        youtube = service("youtube")
+        labeler = DestinationLabeler(
+            service_names=youtube.first_party_names,
+            first_party_owner=youtube.first_party_owner,
+        )
+        assert labeler.label("ad.doubleclick.net").party is PartyLabel.FIRST_PARTY_ATS
+
+    def test_caching(self, roblox_labeler):
+        first = roblox_labeler.label("www.roblox.com")
+        assert roblox_labeler.label("www.roblox.com") is first
+
+    def test_party_label_properties(self):
+        assert PartyLabel.FIRST_PARTY_ATS.is_first_party
+        assert PartyLabel.FIRST_PARTY_ATS.is_ats
+        assert PartyLabel.THIRD_PARTY.is_third_party
+        assert not PartyLabel.THIRD_PARTY.is_ats

@@ -1,0 +1,104 @@
+"""Unit tests for classifier distillation (paper §3.2.2 extension)."""
+
+import pytest
+
+from repro.datatypes.distill import DistilledClassifier, distill
+from repro.datatypes.majority import MajorityVoteClassifier
+from repro.flows.builder import GroundTruthClassifier
+from repro.ontology.nodes import Level3
+
+TRAINING = {
+    "email": Level3.CONTACT_INFORMATION,
+    "email_address": Level3.CONTACT_INFORMATION,
+    "contact_email": Level3.CONTACT_INFORMATION,
+    "phone_number": Level3.CONTACT_INFORMATION,
+    "advertising_id": Level3.DEVICE_SOFTWARE_IDENTIFIERS,
+    "cookie_id": Level3.DEVICE_SOFTWARE_IDENTIFIERS,
+    "tracking_id": Level3.DEVICE_SOFTWARE_IDENTIFIERS,
+    "idfa": Level3.DEVICE_SOFTWARE_IDENTIFIERS,
+    "latitude": Level3.PRECISE_GEOLOCATION,
+    "longitude": Level3.PRECISE_GEOLOCATION,
+    "gps_coords": Level3.PRECISE_GEOLOCATION,
+}
+
+
+class TestDistilledClassifier:
+    def test_requires_training(self):
+        with pytest.raises(RuntimeError):
+            DistilledClassifier().classify("email")
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            DistilledClassifier().fit({})
+
+    def test_learns_training_keys(self):
+        student = DistilledClassifier().fit(TRAINING)
+        for key, label in TRAINING.items():
+            assert student.classify(key).label is label, key
+
+    def test_generalizes_to_shape_variants(self):
+        """Unseen decorations of known vocabulary still classify."""
+        student = DistilledClassifier().fit(TRAINING)
+        assert student.classify("usr_email").label is Level3.CONTACT_INFORMATION
+        assert (
+            student.classify("device_advertising_id").label
+            is Level3.DEVICE_SOFTWARE_IDENTIFIERS
+        )
+
+    def test_tokenless_key_unlabeled(self):
+        student = DistilledClassifier().fit(TRAINING)
+        verdict = student.classify("__123__")
+        assert verdict.label is None
+        assert verdict.confidence == 0.0
+
+    def test_confidence_in_unit_interval(self):
+        student = DistilledClassifier().fit(TRAINING)
+        for key in ("email", "lat_lng", "random_words_here"):
+            assert 0.0 <= student.classify(key).confidence <= 1.0
+
+    def test_parameter_count_small(self):
+        student = DistilledClassifier().fit(TRAINING)
+        assert 0 < student.parameter_count() < 200
+
+
+class TestDistillPipeline:
+    def test_oracle_teacher_gives_strong_student(self):
+        # Enough shape variants that held-out keys share vocabulary
+        # with training keys (the realistic regime).
+        truth: dict[str, Level3] = {}
+        for base, label in TRAINING.items():
+            truth[base] = label
+            for prefix in ("ga", "fb", "usr", "dev", "client", "ctx"):
+                truth[f"{prefix}_{base}"] = label
+        teacher = GroundTruthClassifier(truth=truth)
+        student, report = distill(
+            teacher, list(truth), truth=truth, holdout_fraction=0.25
+        )
+        assert report.training_size > 0
+        assert report.teacher_agreement >= 0.7
+        assert report.teacher_accuracy == 1.0
+        assert report.student_accuracy >= 0.7
+
+    def test_bad_holdout_rejected(self):
+        teacher = GroundTruthClassifier(truth=TRAINING)
+        with pytest.raises(ValueError):
+            distill(teacher, list(TRAINING), holdout_fraction=1.5)
+
+    def test_full_pipeline_with_llm_teacher(self, payload_factory):
+        """Paper claim: the labeled output can train a local model that
+        retains the teacher's usefulness."""
+        teacher = MajorityVoteClassifier(confidence_mode="avg")
+        keys = sorted(payload_factory.registry.truth)[:1200]
+        truth = {k: payload_factory.registry.truth[k] for k in keys}
+        student, report = distill(teacher, keys, truth=truth)
+        assert report.student_parameters < 5_000  # genuinely small
+        assert report.teacher_agreement >= 0.55
+        # Student within 10 points of the (noisy) teacher on truth.
+        assert report.student_accuracy >= report.teacher_accuracy - 0.10
+
+    def test_deterministic(self, payload_factory):
+        teacher = GroundTruthClassifier(truth=payload_factory.registry.truth)
+        keys = sorted(payload_factory.registry.truth)[:300]
+        _, first = distill(teacher, keys, truth=payload_factory.registry.truth)
+        _, second = distill(teacher, keys, truth=payload_factory.registry.truth)
+        assert first == second

@@ -1,0 +1,138 @@
+"""Unit tests for the DNS resolver and CNAME-cloaking detection."""
+
+import pytest
+
+from repro.destinations.cname import (
+    audit_cloaking,
+    build_cloaked_zone,
+    default_cloaked_zone,
+    uncloak,
+)
+from repro.destinations.party import DestinationLabeler, PartyLabel
+from repro.net.dns import DnsError, Resolver, synthetic_address
+from repro.services.catalog import service
+
+
+class TestResolver:
+    def test_direct_resolution(self):
+        answer = Resolver().resolve("api.example.com")
+        assert answer.address == synthetic_address("api.example.com")
+        assert answer.chain == ()
+        assert answer.canonical_name == "api.example.com"
+
+    def test_deterministic_addresses(self):
+        assert Resolver().resolve("x.example").address == Resolver().resolve(
+            "x.example"
+        ).address
+
+    def test_cname_chain(self):
+        resolver = Resolver()
+        resolver.add_cname("a.example", "b.example")
+        resolver.add_cname("b.example", "c.example")
+        answer = resolver.resolve("a.example")
+        assert answer.chain == ("b.example", "c.example")
+        assert answer.canonical_name == "c.example"
+        assert answer.address == synthetic_address("c.example")
+
+    def test_loop_detected(self):
+        resolver = Resolver()
+        resolver.add_cname("a.example", "b.example")
+        resolver.add_cname("b.example", "a.example")
+        with pytest.raises(DnsError):
+            resolver.resolve("a.example")
+
+    def test_self_cname_rejected(self):
+        with pytest.raises(DnsError):
+            Resolver().add_cname("a.example", "a.example")
+
+    def test_chain_length_limit(self):
+        resolver = Resolver()
+        for index in range(12):
+            resolver.add_cname(f"h{index}.example", f"h{index + 1}.example")
+        with pytest.raises(DnsError):
+            resolver.resolve("h0.example")
+
+    def test_case_normalization(self):
+        resolver = Resolver()
+        resolver.add_cname("A.Example", "b.example")
+        assert resolver.resolve("a.EXAMPLE.").chain == ("b.example",)
+        assert resolver.is_alias("a.example")
+
+
+class TestUncloaking:
+    @pytest.fixture(scope="class")
+    def roblox_labeler(self):
+        spec = service("roblox")
+        return DestinationLabeler(
+            service_names=spec.first_party_names,
+            first_party_owner=spec.first_party_owner,
+        )
+
+    def test_cloaked_tracker_detected(self, roblox_labeler):
+        resolver = Resolver()
+        resolver.add_cname("smetrics.roblox.com", "sync.demdex.net")
+        verdict = uncloak("smetrics.roblox.com", resolver, roblox_labeler)
+        assert verdict.cloaked
+        assert verdict.hidden_target == "sync.demdex.net"
+        assert verdict.apparent_party is PartyLabel.FIRST_PARTY
+        assert verdict.effective_party is PartyLabel.FIRST_PARTY_ATS
+        assert verdict.evaded_blocklists
+
+    def test_indirect_cloaking_through_cdn(self, roblox_labeler):
+        resolver = Resolver()
+        resolver.add_cname("insight.roblox.com", "edge.fastly.net")
+        resolver.add_cname("edge.fastly.net", "p.adsrvr.org")
+        verdict = uncloak("insight.roblox.com", resolver, roblox_labeler)
+        assert verdict.cloaked
+        assert verdict.hidden_target == "p.adsrvr.org"
+
+    def test_benign_cdn_alias_not_flagged(self, roblox_labeler):
+        resolver = Resolver()
+        resolver.add_cname("images.roblox.com", "edge.fastly.net")
+        verdict = uncloak("images.roblox.com", resolver, roblox_labeler)
+        assert not verdict.cloaked
+        assert verdict.apparent_party is verdict.effective_party
+
+    def test_unaliased_host_passthrough(self, roblox_labeler):
+        verdict = uncloak("www.roblox.com", Resolver(), roblox_labeler)
+        assert not verdict.cloaked
+        assert verdict.effective_party is PartyLabel.FIRST_PARTY
+
+    def test_already_ats_alias_not_marked_evading(self, roblox_labeler):
+        """An alias whose FQDN is already block-listed did not evade."""
+        resolver = Resolver()
+        resolver.add_cname("metrics.roblox.com", "sync.demdex.net")
+        verdict = uncloak("metrics.roblox.com", resolver, roblox_labeler)
+        assert verdict.cloaked
+        assert not verdict.evaded_blocklists  # FQDN was flagged anyway
+
+
+class TestCloakedZone:
+    def test_zone_covers_all_services(self):
+        zone = default_cloaked_zone()
+        from repro.net.psl import esld
+
+        cloaked_eslds = {esld(alias) for alias in zone.cloaked_hosts}
+        assert len(zone.cloaked_hosts) == 18  # 3 per service
+        assert "roblox.com" in cloaked_eslds
+        assert "duolingo.com" in cloaked_eslds
+
+    def test_audit_finds_every_cloak(self):
+        def labeler_for(service_key):
+            spec = service(service_key)
+            return DestinationLabeler(
+                service_names=spec.first_party_names,
+                first_party_owner=spec.first_party_owner,
+            )
+
+        verdicts = audit_cloaking(labeler_for)
+        assert len(verdicts) == 18
+        assert all(v.cloaked for v in verdicts)
+        # The headline number: how many trackers FQDN labeling missed.
+        evading = [v for v in verdicts if v.evaded_blocklists]
+        assert len(evading) == len(verdicts)  # all hide behind clean names
+
+    def test_zone_deterministic(self):
+        a = build_cloaked_zone()
+        b = build_cloaked_zone()
+        assert a.cloaked_hosts == b.cloaked_hosts

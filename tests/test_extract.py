@@ -1,0 +1,103 @@
+"""Unit tests for raw data type extraction."""
+
+import json
+
+from hypothesis import given, strategies as st
+
+from repro.datatypes.extract import extract_from_request, extract_keys
+from repro.net.http import Header, HttpRequest
+from repro.net.url import parse_url
+
+
+def make_request(body=None, url="https://x.example.com/p", headers=None):
+    raw = json.dumps(body).encode() if body is not None else b""
+    header_list = [Header("Content-Type", "application/json")] if body is not None else []
+    header_list.extend(headers or [])
+    return HttpRequest(method="POST", url=parse_url(url), headers=header_list, body=raw)
+
+
+class TestBodyExtraction:
+    def test_flat_object(self):
+        items = extract_from_request(make_request({"email": "a@b.c", "age": 12}))
+        assert {(i.key, i.value) for i in items} == {("email", "a@b.c"), ("age", "12")}
+
+    def test_nested_objects_contribute_all_keys(self):
+        request = make_request({"device": {"os": "android", "ids": {"gaid": "x"}}})
+        keys = {i.key for i in extract_from_request(request)}
+        assert keys == {"device", "os", "ids", "gaid"}
+
+    def test_arrays_of_objects(self):
+        request = make_request({"events": [{"name": "click"}, {"name": "view"}]})
+        keys = {i.key for i in extract_from_request(request)}
+        assert keys == {"events", "name"}
+
+    def test_value_rendering(self):
+        request = make_request({"flag": True, "nothing": None, "n": 1.5})
+        values = {i.key: i.value for i in extract_from_request(request)}
+        assert values == {"flag": "true", "nothing": "", "n": "1.5"}
+
+    def test_malformed_json_ignored(self):
+        request = HttpRequest(
+            method="POST",
+            url=parse_url("https://x.example.com/"),
+            headers=[Header("Content-Type", "application/json")],
+            body=b"{truncated",
+        )
+        assert extract_from_request(request) == []
+
+    def test_non_json_body_ignored(self):
+        request = HttpRequest(
+            method="POST",
+            url=parse_url("https://x.example.com/"),
+            headers=[Header("Content-Type", "application/octet-stream")],
+            body=b"\x00\x01",
+        )
+        assert extract_from_request(request) == []
+
+
+class TestQueryAndCookieExtraction:
+    def test_query_keys(self):
+        request = make_request(url="https://x.example.com/p?uid=1&lang=en")
+        items = extract_from_request(request)
+        assert {(i.key, i.source) for i in items} == {
+            ("uid", "query"),
+            ("lang", "query"),
+        }
+
+    def test_cookie_keys(self):
+        request = make_request(headers=[Header("Cookie", "session=abc; _ga=1.2")])
+        items = extract_from_request(request)
+        cookie_keys = {i.key for i in items if i.source == "cookie"}
+        assert cookie_keys == {"session", "_ga"}
+
+    def test_all_three_sources_combined(self):
+        request = make_request(
+            body={"event": "x"},
+            url="https://x.example.com/p?q=1",
+            headers=[Header("Cookie", "sid=9")],
+        )
+        sources = {i.source for i in extract_from_request(request)}
+        assert sources == {"body", "query", "cookie"}
+
+
+class TestExtractKeys:
+    def test_union_over_requests(self):
+        requests = [
+            make_request({"a": 1}),
+            make_request({"b": 2}),
+            make_request({"a": 3}),
+        ]
+        assert extract_keys(requests) == {"a", "b"}
+
+    @given(
+        st.dictionaries(
+            st.text(
+                alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=12
+            ),
+            st.integers(),
+            max_size=8,
+        )
+    )
+    def test_flat_body_keys_extracted_exactly(self, body):
+        request = make_request(body)
+        assert {i.key for i in extract_from_request(request)} == set(body)

@@ -1,0 +1,110 @@
+"""Unit tests for the HAR 1.2 reader/writer."""
+
+import json
+
+import pytest
+
+from repro.net.har import (
+    Har,
+    HarEntry,
+    HarError,
+    har_from_json,
+    har_to_json,
+    read_har,
+    write_har,
+)
+from repro.net.http import Header, HttpRequest, HttpResponse
+from repro.net.url import parse_url
+
+
+def make_har() -> Har:
+    request = HttpRequest(
+        method="POST",
+        url=parse_url("https://api.example.com/v1/events?k=v"),
+        headers=[
+            Header("Content-Type", "application/json"),
+            Header("Cookie", "session=abc"),
+        ],
+        body=b'{"event": "click"}',
+        timestamp=1_697_364_000.5,
+    )
+    response = HttpResponse(
+        status=200, headers=[Header("Content-Type", "application/json")], body=b"{}"
+    )
+    har = Har(creator_name="WebInspector", comment="test-trace")
+    har.entries.append(
+        HarEntry(
+            request=request,
+            response=response,
+            started=request.timestamp,
+            time_ms=12.5,
+            server_ip="34.1.2.3",
+            connection="100001",
+            page_ref="page_1",
+        )
+    )
+    return har
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self):
+        original = make_har()
+        parsed = har_from_json(har_to_json(original))
+        assert len(parsed.entries) == 1
+        entry = parsed.entries[0]
+        assert entry.request.method == "POST"
+        assert str(entry.request.url) == "https://api.example.com/v1/events?k=v"
+        assert entry.request.body == b'{"event": "click"}'
+        assert entry.request.cookies() == [("session", "abc")]
+        assert entry.server_ip == "34.1.2.3"
+        assert entry.connection == "100001"
+        assert entry.page_ref == "page_1"
+        assert abs(entry.started - 1_697_364_000.5) < 0.001
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "trace.har"
+        write_har(make_har(), path)
+        parsed = read_har(path)
+        assert parsed.creator_name == "WebInspector"
+        assert parsed.comment == "test-trace"
+        assert len(parsed.entries) == 1
+
+    def test_spec_shape(self):
+        doc = har_to_json(make_har())
+        log = doc["log"]
+        assert log["version"] == "1.2"
+        entry = log["entries"][0]
+        assert entry["startedDateTime"].endswith("Z")
+        assert entry["request"]["queryString"] == [{"name": "k", "value": "v"}]
+        assert entry["request"]["cookies"] == [{"name": "session", "value": "abc"}]
+        assert entry["request"]["postData"]["mimeType"] == "application/json"
+
+    def test_binary_body_base64(self):
+        har = make_har()
+        har.entries[0].request.body = b"\xff\xfe\x00binary"
+        parsed = har_from_json(har_to_json(har))
+        assert parsed.entries[0].request.body == b"\xff\xfe\x00binary"
+
+    def test_outgoing_requests(self):
+        assert len(make_har().outgoing_requests()) == 1
+
+
+class TestErrors:
+    def test_missing_log_raises(self):
+        with pytest.raises(HarError):
+            har_from_json({"nope": 1})
+
+    def test_missing_entries_raises(self):
+        with pytest.raises(HarError):
+            har_from_json({"log": {"version": "1.2"}})
+
+    def test_malformed_entry_raises(self):
+        doc = har_to_json(make_har())
+        del doc["log"]["entries"][0]["request"]["url"]
+        with pytest.raises(HarError):
+            har_from_json(doc)
+
+    def test_serialized_is_valid_json(self, tmp_path):
+        path = tmp_path / "x.har"
+        write_har(make_har(), path)
+        json.loads(path.read_text())

@@ -1,0 +1,164 @@
+"""Unit tests for the linkability analysis (§4.2)."""
+
+import pytest
+
+from repro.destinations.party import PartyLabel
+from repro.flows.dataflow import FlowObservation, FlowTable
+from repro.linkability.alluvial import AlluvialEdge, alluvial_edges, top_ats_organizations
+from repro.linkability.analysis import (
+    analyze_linkability,
+    destination_census,
+    is_linkable,
+    linkability_matrix,
+    most_common_linkable_set,
+)
+from repro.model import Platform, TraceColumn
+from repro.ontology.nodes import Level3
+
+
+def add(table, level3, fqdn, party=PartyLabel.THIRD_PARTY_ATS, column=TraceColumn.CHILD):
+    table.add(
+        FlowObservation(
+            service="svc",
+            column=column,
+            platform=Platform.WEB,
+            level3=level3,
+            fqdn=fqdn,
+            esld=fqdn.split(".", 1)[-1],
+            party=party,
+            raw_key="k",
+        )
+    )
+
+
+class TestIsLinkable:
+    def test_identifier_plus_pi(self):
+        assert is_linkable({Level3.ALIASES, Level3.LANGUAGE})
+        assert is_linkable({Level3.DEVICE_INFORMATION, Level3.APP_OR_SERVICE_USAGE})
+
+    def test_identifier_only_not_linkable(self):
+        assert not is_linkable({Level3.ALIASES, Level3.DEVICE_HARDWARE_IDENTIFIERS})
+
+    def test_pi_only_not_linkable(self):
+        assert not is_linkable(
+            {Level3.LANGUAGE, Level3.NETWORK_CONNECTION_INFORMATION}
+        )
+
+    def test_empty_not_linkable(self):
+        assert not is_linkable(set())
+
+
+class TestAnalysis:
+    def test_counts_and_largest_set(self):
+        table = FlowTable()
+        # linkable partner with 3 types
+        add(table, Level3.ALIASES, "a.ats.example")
+        add(table, Level3.LANGUAGE, "a.ats.example")
+        add(table, Level3.APP_OR_SERVICE_USAGE, "a.ats.example")
+        # linkable partner with 2 types
+        add(table, Level3.DEVICE_INFORMATION, "b.ats.example")
+        add(table, Level3.LANGUAGE, "b.ats.example")
+        # non-linkable beacon (PI only)
+        add(table, Level3.NETWORK_CONNECTION_INFORMATION, "c.ats.example")
+        result = analyze_linkability(table, "svc", TraceColumn.CHILD)
+        assert result.linkable_third_parties == 2
+        assert result.largest_set_size == 3
+        assert result.largest_set_fqdn == "a.ats.example"
+        assert set(result.linkable_fqdns) == {"a.ats.example", "b.ats.example"}
+
+    def test_first_party_never_counts(self):
+        table = FlowTable()
+        add(table, Level3.ALIASES, "api.svc.example", party=PartyLabel.FIRST_PARTY)
+        add(table, Level3.LANGUAGE, "api.svc.example", party=PartyLabel.FIRST_PARTY)
+        result = analyze_linkability(table, "svc", TraceColumn.CHILD)
+        assert result.linkable_third_parties == 0
+
+    def test_non_ats_third_party_counts(self):
+        """Figure 3 includes both ATS and non-ATS third parties."""
+        table = FlowTable()
+        add(table, Level3.ALIASES, "cdn.example", party=PartyLabel.THIRD_PARTY)
+        add(table, Level3.LANGUAGE, "cdn.example", party=PartyLabel.THIRD_PARTY)
+        result = analyze_linkability(table, "svc", TraceColumn.CHILD)
+        assert result.linkable_third_parties == 1
+
+    def test_columns_kept_separate(self):
+        table = FlowTable()
+        add(table, Level3.ALIASES, "a.ats.example", column=TraceColumn.CHILD)
+        add(table, Level3.LANGUAGE, "a.ats.example", column=TraceColumn.ADULT)
+        # Neither column alone has both sides.
+        assert analyze_linkability(table, "svc", TraceColumn.CHILD).linkable_third_parties == 0
+        assert analyze_linkability(table, "svc", TraceColumn.ADULT).linkable_third_parties == 0
+
+    def test_matrix_covers_all_columns(self):
+        table = FlowTable()
+        add(table, Level3.ALIASES, "a.ats.example")
+        matrix = linkability_matrix(table)
+        assert set(matrix) == {("svc", column) for column in TraceColumn}
+
+
+class TestMostCommonSet:
+    def test_most_common(self):
+        table = FlowTable()
+        for fqdn in ("a.x.example", "b.x.example", "c.x.example"):
+            add(table, Level3.ALIASES, fqdn)
+            add(table, Level3.LANGUAGE, fqdn)
+        add(table, Level3.DEVICE_INFORMATION, "d.x.example")
+        add(table, Level3.AGE, "d.x.example")
+        winner, count = most_common_linkable_set(table)
+        assert winner == frozenset({Level3.ALIASES, Level3.LANGUAGE})
+        assert count == 3
+
+    def test_empty_table(self):
+        winner, count = most_common_linkable_set(FlowTable())
+        assert winner == frozenset()
+        assert count == 0
+
+
+class TestCensus:
+    def test_counts_by_party(self):
+        table = FlowTable()
+        add(table, Level3.ALIASES, "ads.x.example", party=PartyLabel.THIRD_PARTY_ATS)
+        add(table, Level3.NAME, "api.svc.example", party=PartyLabel.FIRST_PARTY)
+        contacted = {"svc": {"ads.x.example", "api.svc.example", "cdn.y.example"}}
+
+        def owner_of(service, fqdn):
+            return {"ads.x.example": "AdCo", "api.svc.example": "SvcCo"}.get(fqdn)
+
+        census = destination_census(table, contacted, owner_of)
+        assert census.third_party_ats == 1
+        assert census.first_party == 1
+        assert census.organizations == 2
+        assert census.unknown_owner_domains == 1
+
+
+class TestAlluvial:
+    def test_edges_and_ranking(self):
+        table = FlowTable()
+        for _ in range(3):
+            add(table, Level3.ALIASES, "p.pubm.example")
+            add(table, Level3.LANGUAGE, "p.pubm.example")
+        add(table, Level3.ALIASES, "q.med.example")
+        add(table, Level3.LANGUAGE, "q.med.example")
+
+        def owner_of(service, fqdn):
+            return "PubMatic" if "pubm" in fqdn else "MediaMath"
+
+        edges = alluvial_edges(table, owner_of)
+        child_edges = [e for e in edges if e.column is TraceColumn.CHILD]
+        assert {e.organization for e in child_edges} == {"PubMatic", "MediaMath"}
+        ranking = top_ats_organizations(edges)
+        assert ranking[0][0] == "PubMatic"
+        assert ranking[0][1] > ranking[1][1]
+
+    def test_non_linkable_ats_excluded(self):
+        table = FlowTable()
+        add(table, Level3.NETWORK_CONNECTION_INFORMATION, "beacon.x.example")
+        edges = alluvial_edges(table, lambda s, f: "X")
+        assert edges == []
+
+    def test_unknown_owner_grouped(self):
+        table = FlowTable()
+        add(table, Level3.ALIASES, "m.x.example")
+        add(table, Level3.LANGUAGE, "m.x.example")
+        edges = alluvial_edges(table, lambda s, f: None)
+        assert edges[0].organization == "(unknown)"

@@ -1,0 +1,113 @@
+"""Unit tests for the shared vocabulary types (repro.model)."""
+
+import pytest
+
+from repro.model import (
+    AGE_COLUMNS,
+    ALL_COLUMNS,
+    AgeGroup,
+    FlowCell,
+    Platform,
+    Presence,
+    TraceColumn,
+    TraceKind,
+)
+
+
+class TestAgeGroup:
+    def test_child_and_adolescent_are_protected(self):
+        assert AgeGroup.CHILD.protected
+        assert AgeGroup.ADOLESCENT.protected
+
+    def test_adult_is_not_protected(self):
+        assert not AgeGroup.ADULT.protected
+
+    def test_three_age_groups(self):
+        assert len(AgeGroup) == 3
+
+
+class TestTraceKind:
+    def test_logged_out_is_not_consented(self):
+        assert not TraceKind.LOGGED_OUT.consented
+
+    def test_account_creation_and_logged_in_are_consented(self):
+        assert TraceKind.ACCOUNT_CREATION.consented
+        assert TraceKind.LOGGED_IN.consented
+
+
+class TestTraceColumn:
+    def test_logged_out_maps_regardless_of_age(self):
+        assert (
+            TraceColumn.for_trace(TraceKind.LOGGED_OUT, None)
+            is TraceColumn.LOGGED_OUT
+        )
+
+    @pytest.mark.parametrize("age", list(AgeGroup))
+    def test_age_traces_map_to_age_columns(self, age):
+        for kind in (TraceKind.ACCOUNT_CREATION, TraceKind.LOGGED_IN):
+            assert TraceColumn.for_trace(kind, age).value == age.value
+
+    def test_age_trace_without_age_raises(self):
+        with pytest.raises(ValueError):
+            TraceColumn.for_trace(TraceKind.LOGGED_IN, None)
+
+    def test_age_group_round_trip(self):
+        assert TraceColumn.CHILD.age_group is AgeGroup.CHILD
+        assert TraceColumn.LOGGED_OUT.age_group is None
+
+    def test_column_constants(self):
+        assert len(AGE_COLUMNS) == 3
+        assert len(ALL_COLUMNS) == 4
+        assert TraceColumn.LOGGED_OUT in ALL_COLUMNS
+        assert TraceColumn.LOGGED_OUT not in AGE_COLUMNS
+
+
+class TestFlowCell:
+    def test_share_cells(self):
+        assert FlowCell.SHARE_3RD.is_share
+        assert FlowCell.SHARE_3RD_ATS.is_share
+        assert not FlowCell.COLLECT_1ST.is_share
+
+    def test_ats_cells(self):
+        assert FlowCell.COLLECT_1ST_ATS.is_ats
+        assert FlowCell.SHARE_3RD_ATS.is_ats
+        assert not FlowCell.SHARE_3RD.is_ats
+
+
+class TestPresence:
+    def test_both_is_on_every_platform(self):
+        for platform in Platform:
+            assert Presence.BOTH.on(platform)
+
+    def test_none_is_on_no_platform(self):
+        for platform in Platform:
+            assert not Presence.NONE.on(platform)
+
+    def test_web_only_includes_desktop(self):
+        """Desktop traces merge with web in Table 4 (paper §3.1.3)."""
+        assert Presence.WEB_ONLY.on(Platform.WEB)
+        assert Presence.WEB_ONLY.on(Platform.DESKTOP)
+        assert not Presence.WEB_ONLY.on(Platform.MOBILE)
+
+    def test_mobile_only(self):
+        assert Presence.MOBILE_ONLY.on(Platform.MOBILE)
+        assert not Presence.MOBILE_ONLY.on(Platform.WEB)
+        assert not Presence.MOBILE_ONLY.on(Platform.DESKTOP)
+
+    @pytest.mark.parametrize(
+        "web,mobile,expected",
+        [
+            (True, True, Presence.BOTH),
+            (True, False, Presence.WEB_ONLY),
+            (False, True, Presence.MOBILE_ONLY),
+            (False, False, Presence.NONE),
+        ],
+    )
+    def test_from_platforms(self, web, mobile, expected):
+        assert Presence.from_platforms(web=web, mobile=mobile) is expected
+
+    def test_from_platforms_round_trip(self):
+        for presence in (Presence.BOTH, Presence.WEB_ONLY, Presence.MOBILE_ONLY, Presence.NONE):
+            web = presence.on(Platform.WEB)
+            mobile = presence.on(Platform.MOBILE)
+            assert Presence.from_platforms(web, mobile) is presence

@@ -1,0 +1,185 @@
+"""Unit and property tests for the ontology and lexicon."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ontology import ONTOLOGY, OBSERVED_LEVEL3, build_default_lexicon
+from repro.ontology.lexicon import (
+    ABBREVIATIONS,
+    STOP_TOKENS,
+    expand_tokens,
+    split_key,
+    tokenize_key,
+)
+from repro.ontology.nodes import Level1, Level2, Level3, Ontology, OntologyNode
+
+
+class TestOntologyStructure:
+    def test_has_35_level3_labels(self):
+        """Paper Table 2: 35 level-3 categories."""
+        assert len(ONTOLOGY) == 35
+        assert len(Level3) == 35
+
+    def test_has_8_level2_groups(self):
+        assert len(Level2) == 8
+        observed_groups = {node.level2 for node in ONTOLOGY}
+        assert observed_groups == set(Level2)
+
+    def test_two_level1_roots(self):
+        assert {node.level1 for node in ONTOLOGY} == {
+            Level1.IDENTIFIERS,
+            Level1.PERSONAL_INFORMATION,
+        }
+
+    def test_identifier_branch_has_10_labels(self):
+        """Table 2: 10 identifier categories, 25 personal-information."""
+        identifiers = [n for n in ONTOLOGY if n.level1 is Level1.IDENTIFIERS]
+        assert len(identifiers) == 10
+        assert len(ONTOLOGY) - len(identifiers) == 25
+
+    def test_19_observed_categories(self):
+        """Paper Table 2 stars exactly 19 categories."""
+        assert len(OBSERVED_LEVEL3) == 19
+
+    def test_every_node_has_examples(self):
+        for node in ONTOLOGY:
+            assert node.examples, f"{node.level3} has no level-4 examples"
+
+    def test_label_names_match_enum(self):
+        assert set(ONTOLOGY.label_names()) == {l.value for l in Level3}
+
+    def test_node_lookup_by_string_and_enum(self):
+        by_string = ONTOLOGY.node("Coarse Geolocation")
+        by_enum = ONTOLOGY.node(Level3.COARSE_GEOLOCATION)
+        assert by_string is by_enum
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(KeyError):
+            ONTOLOGY.node("Shoe Size")
+
+    def test_contains(self):
+        assert "Aliases" in ONTOLOGY
+        assert "Shoe Size" not in ONTOLOGY
+
+    def test_level2_rollup(self):
+        assert ONTOLOGY.level2_of(Level3.COARSE_GEOLOCATION) is Level2.GEOLOCATION
+        assert (
+            ONTOLOGY.level2_of(Level3.DEVICE_INFORMATION)
+            is Level2.DEVICE_IDENTIFIERS
+        )
+
+    def test_is_identifier(self):
+        assert ONTOLOGY.is_identifier(Level3.ALIASES)
+        assert ONTOLOGY.is_identifier(Level3.DEVICE_INFORMATION)
+        assert not ONTOLOGY.is_identifier(Level3.LANGUAGE)
+        assert not ONTOLOGY.is_identifier(Level3.APP_OR_SERVICE_USAGE)
+
+    def test_labels_under(self):
+        geo = ONTOLOGY.labels_under(Level2.GEOLOCATION)
+        assert set(geo) == {
+            Level3.PRECISE_GEOLOCATION,
+            Level3.COARSE_GEOLOCATION,
+            Level3.LOCATION_TIME,
+        }
+
+    def test_duplicate_node_rejected(self):
+        node = OntologyNode(
+            level1=Level1.IDENTIFIERS,
+            level2=Level2.PERSONAL_IDENTIFIERS,
+            level3=Level3.NAME,
+            examples=("x",),
+        )
+        with pytest.raises(ValueError):
+            Ontology([node, node])
+
+
+class TestSplitKey:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("email", ["email"]),
+            ("first_name", ["first", "name"]),
+            ("IsOptOutEmailShown", ["is", "opt", "out", "email", "shown"]),
+            ("screen-width", ["screen", "width"]),
+            ("a.b.c", ["a", "b", "c"]),
+            ("HTTPResponse", ["http", "response"]),
+            ("", []),
+            ("___", []),
+        ],
+    )
+    def test_cases(self, raw, expected):
+        assert split_key(raw) == expected
+
+    def test_numbers_kept_by_split(self):
+        assert split_key("utm_2023") == ["utm", "2023"]
+
+
+class TestTokenize:
+    def test_abbreviation_expansion(self):
+        assert "operating" in expand_tokens(["os"])
+        assert "round" in expand_tokens(["rtt"])
+
+    def test_unknown_token_passes_through(self):
+        assert expand_tokens(["zebra"]) == ["zebra"]
+
+    def test_tokenize_drops_stop_tokens(self):
+        tokens = tokenize_key("is_email_shown")
+        assert "is" not in tokens
+        assert "shown" not in tokens
+        assert "email" in tokens
+
+    def test_tokenize_drops_pure_digits(self):
+        assert "2023" not in tokenize_key("utm_2023")
+
+    @given(st.text(alphabet=st.characters(codec="ascii"), max_size=40))
+    def test_tokenize_never_raises(self, raw):
+        tokens = tokenize_key(raw)
+        assert all(isinstance(t, str) for t in tokens)
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=30))
+    def test_tokens_are_lowercase_non_stop(self, raw):
+        for token in tokenize_key(raw):
+            assert token == token.lower()
+            assert token not in STOP_TOKENS
+
+
+class TestLexicon:
+    @pytest.fixture(scope="class")
+    def lexicon(self):
+        return build_default_lexicon(ONTOLOGY)
+
+    def test_scores_are_over_known_labels(self, lexicon):
+        scores = lexicon.score("email_address")
+        assert scores
+        assert all(isinstance(label, Level3) for label in scores)
+
+    def test_exact_example_scores_its_label_best(self, lexicon):
+        scores = lexicon.score("advertising_id")
+        assert max(scores, key=scores.get) is Level3.DEVICE_SOFTWARE_IDENTIFIERS
+
+    def test_abbreviated_key_scores_via_expansion(self, lexicon):
+        scores = lexicon.score("rtt")
+        assert (
+            max(scores, key=scores.get)
+            is Level3.NETWORK_CONNECTION_INFORMATION
+        )
+
+    def test_decorated_key_still_scores(self, lexicon):
+        scores = lexicon.score("IsOptOutEmailShown")
+        assert scores  # "email" provides evidence
+
+    def test_opaque_key_scores_empty(self, lexicon):
+        assert lexicon.score("zxqv3") == {}
+
+    def test_phrase_beats_single_token(self, lexicon):
+        """'mac address' is a Device HW phrase; 'address' alone leans
+        toward geolocation examples — phrase evidence must dominate."""
+        scores = lexicon.score("mac_address")
+        assert max(scores, key=scores.get) is Level3.DEVICE_HARDWARE_IDENTIFIERS
+
+    @given(st.sampled_from(sorted(ABBREVIATIONS)))
+    def test_every_abbreviation_expands_to_nonempty(self, abbrev):
+        assert ABBREVIATIONS[abbrev]
+
+    def test_vocabulary_nonempty(self, lexicon):
+        assert len(lexicon.vocabulary()) > 200

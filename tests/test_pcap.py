@@ -1,0 +1,101 @@
+"""Unit and property tests for the binary pcap reader/writer."""
+
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.pcap import PcapError, PcapFile, PcapPacket
+
+
+def make_pcap(n: int = 3) -> PcapFile:
+    pcap = PcapFile()
+    for index in range(n):
+        pcap.append(PcapPacket(timestamp=100.0 + index * 0.001, data=bytes([index]) * 20))
+    return pcap
+
+
+class TestRoundTrip:
+    def test_bytes_round_trip(self):
+        original = make_pcap()
+        parsed = PcapFile.from_bytes(original.to_bytes())
+        assert len(parsed) == 3
+        for a, b in zip(original.packets, parsed.packets):
+            assert a.data == b.data
+            assert abs(a.timestamp - b.timestamp) < 1e-6
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "trace.pcap"
+        make_pcap(5).write(path)
+        assert len(PcapFile.read(path)) == 5
+
+    def test_empty_pcap(self):
+        parsed = PcapFile.from_bytes(PcapFile().to_bytes())
+        assert len(parsed) == 0
+
+    def test_linktype_preserved(self):
+        pcap = PcapFile(linktype=101)
+        assert PcapFile.from_bytes(pcap.to_bytes()).linktype == 101
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=2**31, allow_nan=False),
+                st.binary(max_size=100),
+            ),
+            max_size=10,
+        )
+    )
+    def test_round_trip_property(self, packets):
+        pcap = PcapFile()
+        for timestamp, data in packets:
+            pcap.append(PcapPacket(timestamp=timestamp, data=data))
+        parsed = PcapFile.from_bytes(pcap.to_bytes())
+        assert [p.data for p in parsed.packets] == [d for _, d in packets]
+        for (timestamp, _), parsed_packet in zip(packets, parsed.packets):
+            assert abs(parsed_packet.timestamp - timestamp) < 1e-5
+
+
+class TestFormat:
+    def test_magic_number(self):
+        assert make_pcap().to_bytes()[:4] == struct.pack("<I", 0xA1B2C3D4)
+
+    def test_big_endian_read(self):
+        # Construct a minimal big-endian file by hand.
+        header = struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1)
+        record = struct.pack(">IIII", 10, 500, 3, 3) + b"abc"
+        parsed = PcapFile.from_bytes(header + record)
+        assert parsed.packets[0].data == b"abc"
+        assert abs(parsed.packets[0].timestamp - 10.0005) < 1e-6
+
+    def test_orig_len_preserved(self):
+        pcap = PcapFile()
+        pcap.append(PcapPacket(timestamp=0.0, data=b"abc", orig_len=1000))
+        parsed = PcapFile.from_bytes(pcap.to_bytes())
+        assert parsed.packets[0].orig_len == 1000
+        assert parsed.packets[0].captured_len == 3
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda blob: blob[:10],  # shorter than global header
+            lambda blob: b"\x00\x00\x00\x00" + blob[4:],  # bad magic
+            lambda blob: blob[:-3],  # truncated record body
+        ],
+    )
+    def test_malformed_rejected(self, mutate):
+        blob = make_pcap().to_bytes()
+        with pytest.raises(PcapError):
+            PcapFile.from_bytes(mutate(blob))
+
+    def test_unsupported_version_rejected(self):
+        blob = bytearray(make_pcap().to_bytes())
+        blob[4:6] = struct.pack("<H", 9)  # major version 9
+        with pytest.raises(PcapError):
+            PcapFile.from_bytes(bytes(blob))
+
+    def test_microsecond_rollover(self):
+        pcap = PcapFile()
+        pcap.append(PcapPacket(timestamp=1.9999996, data=b"x"))
+        parsed = PcapFile.from_bytes(pcap.to_bytes())
+        assert abs(parsed.packets[0].timestamp - 2.0) < 1e-6

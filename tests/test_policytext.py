@@ -1,0 +1,132 @@
+"""Unit tests for the privacy-policy text analyzer."""
+
+import pytest
+
+from repro.audit.policytext import ParsedPolicy, parse_policy, parse_sentence
+from repro.model import AGE_COLUMNS, FlowCell, TraceColumn
+from repro.ontology.nodes import Level2
+
+
+class TestSentences:
+    def test_negative_commitment(self):
+        statement = parse_sentence(
+            "We do not sell personal information to third parties."
+        )
+        assert statement is not None
+        assert statement.prohibits
+        assert not statement.discloses
+        assert (Level2.PERSONAL_IDENTIFIERS, FlowCell.SHARE_3RD) in statement.prohibits
+
+    def test_positive_disclosure(self):
+        statement = parse_sentence(
+            "We may share usage data with advertising partners."
+        )
+        assert statement is not None
+        assert statement.discloses == (
+            (Level2.USER_INTERESTS_AND_BEHAVIORS, FlowCell.SHARE_3RD_ATS),
+        )
+
+    def test_child_audience_scoping(self):
+        statement = parse_sentence(
+            "We do not share personal information of children under 13 with anyone."
+        )
+        assert statement.audiences == (TraceColumn.CHILD,)
+
+    def test_under16_scopes_to_child_and_adolescent(self):
+        statement = parse_sentence(
+            "We do not sell the personal information of users under 16 to third parties."
+        )
+        assert set(statement.audiences) == {
+            TraceColumn.CHILD,
+            TraceColumn.ADOLESCENT,
+        }
+
+    def test_unscoped_applies_to_all_ages(self):
+        statement = parse_sentence(
+            "We share device information with service providers."
+        )
+        assert statement.audiences == AGE_COLUMNS
+
+    def test_out_of_grammar_returns_none(self):
+        assert parse_sentence("We value your privacy very much.") is None
+
+    def test_longest_vocabulary_match_wins(self):
+        """'personal identifiers' must not be swallowed by 'identifiers'."""
+        statement = parse_sentence(
+            "We may share personal identifiers with service providers."
+        )
+        assert statement.discloses == (
+            (Level2.PERSONAL_IDENTIFIERS, FlowCell.SHARE_3RD),
+        )
+
+
+class TestDocuments:
+    POLICY = """
+    Welcome to ExampleApp. We value your privacy very much.
+    We collect device information and usage data with our analytics providers.
+    We may share usage information with advertising partners for all users.
+    We do not sell personal information of children under 13 to third parties.
+    Our offices are located in California.
+    We will not disclose location information of users under 16 to advertisers.
+    We engage in various commercial activities with assorted firms.
+    """
+
+    def test_parse_policy_statements(self):
+        parsed = parse_policy(self.POLICY)
+        assert len(parsed.statements) >= 4
+        prohibitions = [s for s in parsed.statements if s.prohibits]
+        disclosures = [s for s in parsed.statements if s.discloses]
+        assert len(prohibitions) == 2
+        assert len(disclosures) >= 2
+
+    def test_unparsed_sharing_sentences_surface(self):
+        parsed = parse_policy(
+            "We may share some stuff with some folks sometimes."
+        )
+        assert not parsed.statements
+        assert len(parsed.unparsed) == 1
+
+    def test_inert_sentences_silently_skipped(self):
+        parsed = parse_policy("Our offices are located in California.")
+        assert not parsed.statements
+        assert not parsed.unparsed
+
+    def test_to_model_integrates_with_auditor(self):
+        parsed = parse_policy(self.POLICY)
+        model = parsed.to_model("exampleapp")
+        # The child prohibition must be enforceable by the audit engine.
+        assert model.prohibited(
+            TraceColumn.CHILD, Level2.PERSONAL_IDENTIFIERS, FlowCell.SHARE_3RD
+        )
+        assert not model.prohibited(
+            TraceColumn.ADULT, Level2.PERSONAL_IDENTIFIERS, FlowCell.SHARE_3RD
+        )
+        # The advertising disclosure is honoured for adults...
+        assert model.disclosed(
+            TraceColumn.ADULT,
+            Level2.USER_INTERESTS_AND_BEHAVIORS,
+            FlowCell.SHARE_3RD_ATS,
+        )
+        # ...but nothing is disclosed pre-consent.
+        assert not model.disclosed(
+            TraceColumn.LOGGED_OUT,
+            Level2.USER_INTERESTS_AND_BEHAVIORS,
+            FlowCell.SHARE_3RD_ATS,
+        )
+
+    def test_round_trip_with_quoted_paper_statements(self):
+        """Some of the paper's actual quoted policy lines parse."""
+        tiktok = parse_sentence(
+            "TikTok does not sell information from children to third parties."
+        )
+        assert tiktok is not None
+        assert tiktok.audiences == (TraceColumn.CHILD,)
+        assert tiktok.prohibits
+
+        # Roblox's quote names no recipient — out of grammar, and the
+        # analyzer must surface rather than guess it.
+        parsed = parse_policy(
+            "We may share non-identifying data of all users regardless of their age."
+        )
+        assert not parsed.statements
+        assert parsed.unparsed

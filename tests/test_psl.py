@@ -1,0 +1,101 @@
+"""Unit and property tests for the public-suffix-list engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.psl import PublicSuffixList, default_psl, esld, extract
+
+
+class TestExtract:
+    @pytest.mark.parametrize(
+        "host,subdomain,domain,suffix",
+        [
+            ("www.example.com", "www", "example", "com"),
+            ("example.com", "", "example", "com"),
+            ("a.b.example.co.uk", "a.b", "example", "co.uk"),
+            ("example.co.uk", "", "example", "co.uk"),
+            ("browser.events.data.microsoft.com", "browser.events.data", "microsoft", "com"),
+            ("metrics.roblox.com", "metrics", "roblox", "com"),
+        ],
+    )
+    def test_standard_cases(self, host, subdomain, domain, suffix):
+        result = extract(host)
+        assert result.subdomain == subdomain
+        assert result.domain == domain
+        assert result.suffix == suffix
+
+    def test_registered_domain(self):
+        assert esld("ssl.google-analytics.com") == "google-analytics.com"
+        assert esld("p16-sign-va.tiktokcdn.com") == "tiktokcdn.com"
+
+    def test_private_section_cloudfront(self):
+        """tldextract honours the private section by default, so a
+        CloudFront distribution hostname is its own registered domain."""
+        assert esld("d1234.cloudfront.net") == "d1234.cloudfront.net"
+
+    def test_icann_only_mode(self):
+        psl = PublicSuffixList(include_private=False)
+        assert psl.extract("d1234.cloudfront.net").registered_domain == "cloudfront.net"
+
+    def test_wildcard_rule(self):
+        # *.ck: any single label under .ck is a public suffix.
+        assert extract("a.b.ck").registered_domain == "a.b.ck"
+
+    def test_wildcard_exception_rule(self):
+        # !www.ck: www.ck is a registered domain despite the wildcard.
+        assert extract("www.ck").registered_domain == "www.ck"
+        assert extract("sub.www.ck").registered_domain == "www.ck"
+
+    def test_unknown_tld_uses_last_label(self):
+        assert extract("example.unknowntld").registered_domain == "example.unknowntld"
+
+    def test_pure_suffix_has_no_registered_domain(self):
+        result = extract("co.uk")
+        assert result.registered_domain == ""
+        assert result.suffix == "co.uk"
+
+    def test_ip_literal_has_no_suffix(self):
+        result = extract("10.1.2.3")
+        assert result.suffix == ""
+        assert result.registered_domain == ""
+
+    def test_case_and_trailing_dot_normalized(self):
+        assert esld("WWW.EXAMPLE.COM.") == "example.com"
+
+    def test_single_label(self):
+        result = extract("localhost")
+        assert result.domain == "localhost"
+        assert result.suffix == ""
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=8),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_fqdn_reconstructs_host(self, labels):
+        host = ".".join(labels)
+        result = extract(host)
+        assert result.fqdn == host
+
+    @given(
+        st.lists(
+            st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=8),
+            min_size=2,
+            max_size=5,
+        )
+    )
+    def test_registered_domain_is_host_suffix(self, labels):
+        host = ".".join(labels)
+        registered = extract(host).registered_domain
+        if registered:
+            assert host.endswith(registered)
+
+    def test_default_psl_is_cached(self):
+        assert default_psl() is default_psl()
+
+    def test_psl_parsed_rules_nonempty(self):
+        assert len(default_psl()) > 50

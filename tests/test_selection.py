@@ -1,0 +1,102 @@
+"""Unit tests for service selection (§2.2) and the Tranco ranking."""
+
+import pytest
+
+from repro.destinations.tranco import default_tranco
+from repro.services.selection import (
+    Audience,
+    StoreApp,
+    meets_criteria,
+    select_services,
+    selection_summary,
+    top100_snapshot,
+)
+
+
+class TestSelectionFunnel:
+    def test_chart_has_100_entries(self):
+        chart = top100_snapshot()
+        assert len(chart) == 100
+        assert sorted(app.rank for app in chart) == list(range(1, 101))
+
+    def test_exactly_the_papers_six_qualify(self):
+        selected = select_services()
+        assert [app.name for app in selected] == [
+            "TikTok",
+            "YouTube",
+            "Roblox",
+            "Minecraft",
+            "Duolingo",
+            "Quizlet",
+        ]
+
+    def test_general_audience_without_accounts_rejected(self):
+        app = StoreApp(
+            name="X",
+            key="x",
+            rank=1,
+            category="games",
+            audience=Audience.GENERAL,
+            has_accounts=False,
+            downloads_billions=1.0,
+        )
+        assert not meets_criteria(app)
+
+    def test_accounts_without_general_audience_rejected(self):
+        app = StoreApp(
+            name="X",
+            key="x",
+            rank=1,
+            category="dating",
+            audience=Audience.ADULTS_ONLY,
+            has_accounts=True,
+            downloads_billions=1.0,
+        )
+        assert not meets_criteria(app)
+
+    def test_summary_matches_paper_shape(self):
+        summary = selection_summary()
+        assert summary["chart_size"] == 100
+        assert len(summary["selected"]) == 6
+        # Paper: "cumulatively downloaded more than 12 billion times".
+        assert summary["cumulative_downloads_billions"] >= 10.0
+
+
+class TestTranco:
+    def test_services_in_top_100(self):
+        """Paper §2.2: Roblox, TikTok, YouTube among the top 100."""
+        tranco = default_tranco()
+        for domain in ("roblox.com", "tiktok.com", "youtube.com"):
+            assert tranco.in_top(domain, 100), domain
+
+    def test_all_six_in_top_5000(self):
+        tranco = default_tranco()
+        for domain in (
+            "duolingo.com",
+            "minecraft.net",
+            "quizlet.com",
+            "roblox.com",
+            "tiktok.com",
+            "youtube.com",
+        ):
+            assert tranco.in_top(domain, 5_000), domain
+
+    def test_every_universe_esld_ranked(self):
+        from repro.destinations.dataset import default_universe
+
+        tranco = default_tranco()
+        assert len(tranco) == len(default_universe().eslds())
+
+    def test_ranks_unique(self):
+        tranco = default_tranco()
+        entries = tranco.top(len(tranco))
+        ranks = [entry.rank for entry in entries]
+        assert len(ranks) == len(set(ranks))
+
+    def test_unknown_domain_unranked(self):
+        assert default_tranco().rank_of("not-in-universe.example") is None
+
+    def test_top_ordering(self):
+        top = default_tranco().top(10)
+        assert [e.rank for e in top] == sorted(e.rank for e in top)
+        assert top[0].domain == "google.com"

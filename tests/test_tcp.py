@@ -1,0 +1,120 @@
+"""Unit and property tests for TCP segmentation and reassembly."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.packet import TcpHeader
+from repro.net.tcp import DEFAULT_MSS, FlowId, TcpReassembler, segment_request
+
+FLOW = FlowId(client_ip="10.0.0.1", client_port=40000, server_ip="34.0.0.1", server_port=443)
+
+
+class TestSegmentation:
+    def test_small_payload_three_frames(self):
+        frames = segment_request(b"hello", FLOW, timestamp=0.0)
+        # SYN + one data segment + FIN
+        assert len(frames) == 3
+        assert frames[0].tcp.flags & TcpHeader.FLAG_SYN
+        assert frames[-1].tcp.flags & TcpHeader.FLAG_FIN
+
+    def test_large_payload_segmented_at_mss(self):
+        payload = b"x" * (DEFAULT_MSS * 2 + 10)
+        frames = segment_request(payload, FLOW, timestamp=0.0)
+        data_frames = [f for f in frames if f.payload]
+        assert len(data_frames) == 3
+        assert all(len(f.payload) <= DEFAULT_MSS for f in data_frames)
+
+    def test_sequence_numbers_contiguous(self):
+        payload = b"a" * 3000
+        frames = segment_request(payload, FLOW, timestamp=0.0, isn=100)
+        data_frames = [f for f in frames if f.payload]
+        expected = 101  # ISN + 1 for SYN
+        for frame in data_frames:
+            assert frame.tcp.seq == expected
+            expected += len(frame.payload)
+
+    def test_without_handshake(self):
+        frames = segment_request(b"abc", FLOW, timestamp=0.0, with_handshake=False)
+        assert all(f.payload for f in frames)
+
+    def test_timestamps_increase(self):
+        frames = segment_request(b"x" * 5000, FLOW, timestamp=10.0)
+        stamps = [f.timestamp for f in frames]
+        assert stamps == sorted(stamps)
+        assert stamps[0] >= 10.0
+
+
+class TestReassembly:
+    def reassemble(self, frames):
+        reassembler = TcpReassembler()
+        for frame in frames:
+            reassembler.add_frame(frame)
+        return reassembler.flows()
+
+    def test_in_order(self):
+        payload = b"the quick brown fox" * 200
+        flows = self.reassemble(segment_request(payload, FLOW, 0.0))
+        assert len(flows) == 1
+        assert flows[0].data == payload
+        assert flows[0].complete
+
+    def test_out_of_order(self):
+        payload = b"0123456789" * 500
+        frames = segment_request(payload, FLOW, 0.0)
+        rng = random.Random(4)
+        rng.shuffle(frames)
+        flows = self.reassemble(frames)
+        assert flows[0].data == payload
+        assert flows[0].complete
+
+    def test_duplicates_dropped(self):
+        payload = b"abc" * 1000
+        frames = segment_request(payload, FLOW, 0.0)
+        flows = self.reassemble(frames + frames)
+        assert flows[0].data == payload
+
+    def test_hole_marks_incomplete(self):
+        payload = b"z" * (DEFAULT_MSS * 3)
+        frames = segment_request(payload, FLOW, 0.0)
+        data_frames = [f for f in frames if f.payload]
+        frames.remove(data_frames[1])  # drop the middle segment
+        flows = self.reassemble(frames)
+        assert not flows[0].complete
+        assert len(flows[0].data) < len(payload)
+
+    def test_two_flows_kept_separate(self):
+        other = FlowId(
+            client_ip="10.0.0.1",
+            client_port=40001,
+            server_ip="34.0.0.2",
+            server_port=443,
+        )
+        frames = segment_request(b"first", FLOW, 0.0) + segment_request(
+            b"second", other, 1.0
+        )
+        flows = self.reassemble(frames)
+        assert len(flows) == 2
+        assert {f.data for f in flows} == {b"first", b"second"}
+
+    def test_flow_id_str(self):
+        assert str(FLOW) == "10.0.0.1:40000->34.0.0.1:443"
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=1, max_size=8000), st.integers(0, 2**31))
+    def test_shuffle_round_trip_property(self, payload, seed):
+        frames = segment_request(payload, FLOW, 0.0)
+        random.Random(seed).shuffle(frames)
+        flows = self.reassemble(frames)
+        assert flows[0].data == payload
+        assert flows[0].complete
+
+    def test_empty_reassembler(self):
+        assert TcpReassembler().flows() == []
+
+    def test_len_counts_flows(self):
+        reassembler = TcpReassembler()
+        for frame in segment_request(b"x", FLOW, 0.0):
+            reassembler.add_frame(frame)
+        assert len(reassembler) == 1

@@ -1,0 +1,138 @@
+"""Unit and property tests for URL parsing (repro.net.url)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.url import (
+    Url,
+    UrlError,
+    encode_query,
+    is_ip_literal,
+    parse_query,
+    parse_url,
+    percent_encode,
+)
+
+
+class TestParseUrl:
+    def test_simple(self):
+        url = parse_url("https://www.example.com/path?a=1#frag")
+        assert url.scheme == "https"
+        assert url.host == "www.example.com"
+        assert url.port == 443
+        assert url.path == "/path"
+        assert url.query == "a=1"
+        assert url.fragment == "frag"
+
+    def test_default_ports(self):
+        assert parse_url("http://x.com").port == 80
+        assert parse_url("https://x.com").port == 443
+        assert parse_url("wss://x.com").port == 443
+
+    def test_explicit_port(self):
+        assert parse_url("https://x.com:8443/").port == 8443
+
+    def test_host_lowercased(self):
+        assert parse_url("https://WwW.ExAmPlE.CoM/").host == "www.example.com"
+
+    def test_trailing_dot_stripped(self):
+        assert parse_url("https://example.com./").host == "example.com"
+
+    def test_no_path_means_root(self):
+        assert parse_url("https://x.com").path == "/"
+
+    def test_userinfo_stripped(self):
+        assert parse_url("https://user:pw@x.com/").host == "x.com"
+
+    def test_ipv6_literal(self):
+        url = parse_url("https://[2001:db8::1]:8080/api")
+        assert url.host == "2001:db8::1"
+        assert url.port == 8080
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "example.com/path",  # no scheme
+            "ftp://example.com/",  # unsupported scheme
+            "https:example.com",  # missing authority
+            "https:///path",  # empty host
+            "https://x.com:99999/",  # port out of range
+            "https://x.com:abc/",  # non-numeric port
+        ],
+    )
+    def test_rejects_bad_urls(self, bad):
+        with pytest.raises(UrlError):
+            parse_url(bad)
+
+    def test_str_round_trip(self):
+        raw = "https://api.example.com/v1/data?x=1&y=2#top"
+        assert str(parse_url(raw)) == raw
+
+    def test_origin_omits_default_port(self):
+        assert parse_url("https://x.com/a").origin == "https://x.com"
+        assert parse_url("https://x.com:444/a").origin == "https://x.com:444"
+
+
+class TestQuery:
+    def test_parse_pairs(self):
+        assert parse_query("a=1&b=two") == [("a", "1"), ("b", "two")]
+
+    def test_bare_flag(self):
+        assert parse_query("debug") == [("debug", "")]
+
+    def test_repeated_keys_preserved(self):
+        assert parse_query("k=1&k=2") == [("k", "1"), ("k", "2")]
+
+    def test_percent_decoding(self):
+        assert parse_query("q=hello%20world") == [("q", "hello world")]
+
+    def test_plus_decodes_to_space(self):
+        assert parse_query("q=a+b") == [("q", "a b")]
+
+    def test_empty_query(self):
+        assert parse_query("") == []
+
+    def test_encode_round_trip(self):
+        pairs = [("key one", "value&=x"), ("flag", ""), ("z", "ümlaut")]
+        assert parse_query(encode_query(pairs)) == pairs
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.text(min_size=1, max_size=10),
+                st.text(max_size=10),
+            ),
+            max_size=5,
+        )
+    )
+    def test_encode_parse_round_trip_property(self, pairs):
+        assert parse_query(encode_query(pairs)) == pairs
+
+    def test_percent_encode_unreserved_untouched(self):
+        assert percent_encode("AZaz09-._~") == "AZaz09-._~"
+
+
+class TestIpLiteral:
+    @pytest.mark.parametrize(
+        "host,expected",
+        [
+            ("1.2.3.4", True),
+            ("255.255.255.255", True),
+            ("256.1.1.1", False),
+            ("example.com", False),
+            ("2001:db8::1", True),
+            ("1.2.3", False),
+        ],
+    )
+    def test_cases(self, host, expected):
+        assert is_ip_literal(host) is expected
+
+
+class TestUrlModel:
+    def test_query_pairs(self):
+        url = Url(scheme="https", host="x.com", port=443, query="a=1&b=2")
+        assert url.query_pairs() == [("a", "1"), ("b", "2")]
+
+    def test_fqdn_is_host(self):
+        url = Url(scheme="https", host="sub.x.com", port=443)
+        assert url.fqdn == "sub.x.com"

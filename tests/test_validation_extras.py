@@ -1,0 +1,97 @@
+"""Unit tests for the validation extras: confusion matrix, recall."""
+
+import pytest
+
+from repro.datatypes.base import Classification
+from repro.datatypes.gpt4 import Gpt4Classifier
+from repro.datatypes.validation import (
+    confusion_matrix,
+    draw_sample,
+    per_class_recall,
+    top_confusions,
+)
+from repro.ontology.nodes import Level3
+
+
+def predictions_from(pairs):
+    return [
+        Classification(text=text, label=predicted, confidence=0.9)
+        for text, predicted in pairs
+    ]
+
+
+TRUTH = {
+    "a": Level3.AGE,
+    "b": Level3.AGE,
+    "c": Level3.LANGUAGE,
+    "d": Level3.LANGUAGE,
+    "e": Level3.LANGUAGE,
+}
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        predictions = predictions_from(
+            [
+                ("a", Level3.AGE),
+                ("b", Level3.LOCATION_TIME),
+                ("c", Level3.LANGUAGE),
+                ("d", Level3.LANGUAGE),
+                ("e", None),
+            ]
+        )
+        matrix = confusion_matrix(predictions, TRUTH)
+        assert matrix[(Level3.AGE, Level3.AGE)] == 1
+        assert matrix[(Level3.AGE, Level3.LOCATION_TIME)] == 1
+        assert matrix[(Level3.LANGUAGE, Level3.LANGUAGE)] == 2
+        assert matrix[(Level3.LANGUAGE, None)] == 1
+
+    def test_top_confusions_exclude_diagonal(self):
+        predictions = predictions_from(
+            [
+                ("a", Level3.AGE),
+                ("b", Level3.LOCATION_TIME),
+                ("c", Level3.LANGUAGE),
+                ("d", Level3.AGE),
+                ("e", Level3.AGE),
+            ]
+        )
+        matrix = confusion_matrix(predictions, TRUTH)
+        worst = top_confusions(matrix, n=2)
+        assert worst[0] == (Level3.LANGUAGE, Level3.AGE, 2)
+        assert all(true is not predicted for true, predicted, _ in worst)
+
+    def test_per_class_recall(self):
+        predictions = predictions_from(
+            [
+                ("a", Level3.AGE),
+                ("b", Level3.AGE),
+                ("c", Level3.LANGUAGE),
+                ("d", None),
+                ("e", Level3.AGE),
+            ]
+        )
+        recall = per_class_recall(confusion_matrix(predictions, TRUTH))
+        assert recall[Level3.AGE] == 1.0
+        assert recall[Level3.LANGUAGE] == pytest.approx(1 / 3)
+
+
+class TestOnRealClassifier:
+    def test_confusions_are_plausible_neighbors(self, payload_factory):
+        """The model's dominant confusions should be semantically
+        nearby categories, not random — a qualitative property the
+        paper relied on when reading its errors."""
+        sample = draw_sample(payload_factory.registry.truth, seed=5)
+        model = Gpt4Classifier(temperature=0.0)
+        predictions = model.classify_batch(sorted(sample))
+        matrix = confusion_matrix(predictions, sample)
+        recall = per_class_recall(matrix)
+        # Large, distinctive categories are recalled well.
+        for label in (Level3.LANGUAGE, Level3.CONTACT_INFORMATION):
+            if label in recall:
+                assert recall[label] >= 0.5, label
+        # And the overall diagonal dominates.
+        diagonal = sum(
+            count for (true, predicted), count in matrix.items() if true is predicted
+        )
+        assert diagonal / sum(matrix.values()) >= 0.6
