@@ -1,0 +1,53 @@
+"""Sequential-vs-parallel audit engine: wall time and result parity.
+
+Runs the full DiffAudit pipeline twice — once on the in-process
+sequential executor (``jobs=1``) and once on the process-pool executor
+(``jobs=2``) — and records both wall times.  The speedup tracks the
+machine: per-service shards run concurrently, so with C cores and S
+services the capture/parse/classify stage approaches ``max(shard)``
+instead of ``sum(shard)``; on a single-core box the pool only adds
+process overhead and the numbers say so.
+
+Parity is part of the benchmark: both runs must serialize to the same
+JSON document, which is the engine's core contract (shard merge in
+service-spec order, classification as a pure function of the key).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import CorpusConfig, DiffAudit
+from repro.reporting.export import result_to_json
+
+PARALLEL_JOBS = 2
+
+
+def _timed_run(config: CorpusConfig, jobs: int) -> tuple[float, str]:
+    start = time.perf_counter()
+    result = DiffAudit(config, jobs=jobs).run()
+    elapsed = time.perf_counter() - start
+    return elapsed, result_to_json(result)
+
+
+def test_parallel_engine_wall_time(corpus_config, save_artifact):
+    sequential_s, sequential_json = _timed_run(corpus_config, jobs=1)
+    parallel_s, parallel_json = _timed_run(corpus_config, jobs=PARALLEL_JOBS)
+
+    assert sequential_json == parallel_json, "parallel run diverged from sequential"
+
+    speedup = sequential_s / parallel_s if parallel_s else float("inf")
+    lines = [
+        "Parallel sharded audit engine — wall time",
+        "",
+        f"scale:              {corpus_config.scale}",
+        f"profile:            {corpus_config.profile}",
+        f"sequential (jobs=1): {sequential_s:.2f} s",
+        f"parallel (jobs={PARALLEL_JOBS}):  {parallel_s:.2f} s",
+        f"speedup:            {speedup:.2f}x",
+        "",
+        "results byte-identical: yes",
+    ]
+    report = "\n".join(lines)
+    save_artifact("bench_parallel_engine.txt", report)
+    print(report)

@@ -17,8 +17,16 @@ import sys
 from pathlib import Path
 
 from repro import CorpusConfig, DiffAudit
+from repro.services.generator import LOAD_PROFILES
 
 _SERVICES = ("duolingo", "minecraft", "quizlet", "roblox", "tiktok", "youtube")
+
+
+def _positive_int(value: str) -> int:
+    jobs = int(value)
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {jobs}")
+    return jobs
 
 
 def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
@@ -36,6 +44,18 @@ def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
         help="traffic volume relative to the paper's (default 0.02)",
     )
     parser.add_argument("--seed", type=int, default=2023)
+    parser.add_argument(
+        "--profile",
+        choices=sorted(LOAD_PROFILES),
+        default="standard",
+        help="named load profile scaling traffic volume and request rate",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for per-service shards (default 1: sequential)",
+    )
 
 
 def _config(args) -> CorpusConfig:
@@ -43,11 +63,12 @@ def _config(args) -> CorpusConfig:
         seed=args.seed,
         scale=args.scale,
         services=tuple(args.services) if args.services else None,
+        profile=args.profile,
     )
 
 
 def cmd_audit(args) -> int:
-    result = DiffAudit(_config(args)).run()
+    result = DiffAudit(_config(args), jobs=args.jobs).run()
     if args.json:
         from repro.reporting.export import result_to_json
 
@@ -84,17 +105,16 @@ def cmd_classify(args) -> int:
 
 
 def cmd_generate(args) -> int:
-    from repro.pipeline.corpus import CorpusProcessor
+    from repro.pipeline.engine import generate_corpus_artifacts
 
     directory = Path(args.output)
-    processor = CorpusProcessor(config=_config(args), artifacts_dir=directory)
-    count = sum(1 for _ in processor)
+    count = generate_corpus_artifacts(_config(args), directory, jobs=args.jobs)
     print(f"wrote {count} trace artifacts into {directory}/")
     return 0
 
 
 def cmd_report(args) -> int:
-    result = DiffAudit(_config(args)).run()
+    result = DiffAudit(_config(args), jobs=args.jobs).run()
     from repro.linkability.analysis import linkability_matrix
     from repro.reporting import (
         render_census,

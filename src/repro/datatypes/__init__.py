@@ -3,6 +3,8 @@
 * :mod:`repro.datatypes.extract` — pull raw data types (key strings)
   out of request payloads, query strings and cookies;
 * :mod:`repro.datatypes.base` — the classifier interface;
+* :mod:`repro.datatypes.cache` — a memoizing layer over any
+  classifier, so repeated keys are classified once per run;
 * :mod:`repro.datatypes.gpt4` — the GPT-4 Chat Completions substitute:
   an offline knowledge-based classifier with the same API shape
   (prompt, temperature, confidence, explanation);
@@ -17,6 +19,7 @@
 """
 
 from repro.datatypes.base import Classification, Classifier
+from repro.datatypes.cache import CachingClassifier
 from repro.datatypes.extract import ExtractedKey, extract_from_request, extract_keys
 from repro.datatypes.gpt4 import Gpt4Classifier, GPT4_PROMPT, TEMPERATURES
 from repro.datatypes.majority import MajorityVoteClassifier
@@ -27,6 +30,7 @@ from repro.datatypes.fewshot import FewShotClassifier
 from repro.datatypes.validation import ValidationReport, validate_classifier
 
 __all__ = [
+    "CachingClassifier",
     "Classification",
     "Classifier",
     "ExtractedKey",

@@ -1,0 +1,67 @@
+"""Memoizing cache layer over any :class:`Classifier`.
+
+The paper classified its 3,968 unique raw data types once, not its
+440K packets (§3.2.2).  :class:`CachingClassifier` makes that economy
+a property of the classifier stack instead of every call site: wrap
+any classifier and repeated keys are classified exactly once per run,
+with hit/miss counters for instrumentation.
+
+Classification here is a pure function of the input text (the GPT-4
+substitute derives its randomness from a per-key hash), so memoization
+never changes results — only how often the expensive path runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datatypes.base import Classification, Classifier
+
+
+@dataclass
+class CachingClassifier:
+    """Wraps a classifier, classifying each unique text at most once."""
+
+    inner: Classifier
+    name: str = field(init=False)
+    hits: int = 0
+    misses: int = 0
+    _cache: dict[str, Classification] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        self.name = f"cached-{self.inner.name}"
+
+    @classmethod
+    def wrap(cls, classifier: Classifier) -> "CachingClassifier":
+        """Wrap a classifier, reusing an existing cache layer as-is."""
+        if isinstance(classifier, cls):
+            return classifier
+        return cls(classifier)
+
+    def classify(self, text: str) -> Classification:
+        cached = self._cache.get(text)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        verdict = self.inner.classify(text)
+        self._cache[text] = verdict
+        return verdict
+
+    def classify_batch(self, texts: list[str]) -> list[Classification]:
+        return [self.classify(text) for text in texts]
+
+    # -- instrumentation ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def cached_keys(self) -> set[str]:
+        return set(self._cache)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

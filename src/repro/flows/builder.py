@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.datatypes.base import Classification, Classifier
+from repro.datatypes.cache import CachingClassifier
 from repro.datatypes.extract import extract_from_request
 from repro.destinations.party import DestinationLabeler
 from repro.flows.dataflow import FlowObservation
@@ -59,21 +60,25 @@ class FlowBuilder:
 
     classifier: Classifier
     confidence_threshold: float = 0.8
-    _cache: dict[str, Level3 | None] = field(default_factory=dict, repr=False)
+    _cache: CachingClassifier = field(init=False, repr=False)
+    # Keys this builder classified — per-builder even when the cache
+    # layer is shared (or pre-warmed) across builders.
+    _seen: set[str] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._cache = CachingClassifier.wrap(self.classifier)
+        self._seen = set()
 
     def label_key(self, key: str) -> Level3 | None:
         """Classify one raw key (memoized, threshold applied)."""
-        if key in self._cache:
-            return self._cache[key]
-        verdict = self.classifier.classify(key)
-        label = (
+        self._seen.add(key)
+        verdict = self._cache.classify(key)
+        return (
             verdict.label
             if verdict.label is not None
             and verdict.confidence >= self.confidence_threshold
             else None
         )
-        self._cache[key] = label
-        return label
 
     def flows_for_request(
         self,
@@ -110,4 +115,8 @@ class FlowBuilder:
 
     @property
     def classified_keys(self) -> int:
-        return len(self._cache)
+        return len(self._seen)
+
+    def classified_key_set(self) -> set[str]:
+        """The unique raw keys this builder has classified so far."""
+        return set(self._seen)

@@ -87,6 +87,29 @@ class FlowTable:
         for observation in observations:
             self.add(observation)
 
+    def register_party(self, service: str, fqdn: str, party: PartyLabel) -> None:
+        """Record a destination's party label without a flow observation.
+
+        Opaque (undecryptable) contacts never produce flows but still
+        count for the destination census; registration never overrides
+        a label that an observed flow already set.
+        """
+        self._party_by_fqdn.setdefault((service, fqdn), party)
+
+    def merge(self, other: "FlowTable") -> None:
+        """Fold another table (e.g. one shard's result) into this one.
+
+        Observations are replayed through :meth:`add` so every roll-up
+        (grid, per-destination sets, party map) is rebuilt exactly as
+        if the observations had been added here in the first place;
+        registered-only party labels are then merged without
+        overriding labels observations have set.
+        """
+        for observation in other._observations:
+            self.add(observation)
+        for (service, fqdn), party in other._party_by_fqdn.items():
+            self.register_party(service, fqdn, party)
+
     def __len__(self) -> int:
         return len(self._observations)
 

@@ -3,6 +3,8 @@
 * :mod:`repro.pipeline.corpus` — generate traces, capture them into
   HAR/PCAP artifacts, and parse them back (steps 1–2);
 * :mod:`repro.pipeline.dataset` — the Table 1 dataset summary;
+* :mod:`repro.pipeline.engine` — the parallel sharded engine running
+  steps 1–3 per service (sequential or process-pool executors);
 * :mod:`repro.pipeline.diffaudit` — the full audit run: flows,
   classification, destination analysis, differential audit,
   linkability (steps 3–5).
@@ -11,6 +13,16 @@
 from repro.pipeline.corpus import CorpusProcessor, ParsedTrace
 from repro.pipeline.dataset import DatasetSummary, ServiceDatasetStats
 from repro.pipeline.diffaudit import DiffAudit, DiffAuditResult
+from repro.pipeline.engine import (
+    AuditEngine,
+    EngineOutput,
+    ProcessPoolShardExecutor,
+    SequentialExecutor,
+    ShardResult,
+    ShardTask,
+    executor_for,
+    process_shard,
+)
 
 __all__ = [
     "CorpusProcessor",
@@ -19,4 +31,12 @@ __all__ = [
     "ServiceDatasetStats",
     "DiffAudit",
     "DiffAuditResult",
+    "AuditEngine",
+    "EngineOutput",
+    "ProcessPoolShardExecutor",
+    "SequentialExecutor",
+    "ShardResult",
+    "ShardTask",
+    "executor_for",
+    "process_shard",
 ]

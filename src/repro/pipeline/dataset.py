@@ -43,6 +43,17 @@ class DatasetSummary:
         stats.packets += trace.packet_count
         stats.tcp_flows += trace.flow_count
 
+    def merge(self, other: "DatasetSummary") -> None:
+        """Fold another summary (e.g. one shard's slice) into this one."""
+        for service, stats in other.per_service.items():
+            mine = self.per_service.setdefault(
+                service, ServiceDatasetStats(service=service)
+            )
+            mine.fqdns.update(stats.fqdns)
+            mine.eslds.update(stats.eslds)
+            mine.packets += stats.packets
+            mine.tcp_flows += stats.tcp_flows
+
     # -- totals (unique across services, as Table 1 footnotes) -----------
 
     @property

@@ -9,6 +9,12 @@
 4. data flow construction and the differential audit;
 5. linkability analysis.
 
+Stages 1–3 run per-service inside :class:`repro.pipeline.engine.AuditEngine`
+— sequentially by default, or across worker processes with ``jobs > 1``
+(the CLI's ``--jobs N``).  Both paths produce identical results for the
+same config: shards merge in service-spec order and classification is a
+pure function of the key.
+
 The result object carries everything the paper's tables and figures
 are derived from.
 """
@@ -20,11 +26,8 @@ from pathlib import Path
 
 from repro.audit.report import ServiceAuditReport, audit_service
 from repro.datatypes.base import Classifier
-from repro.datatypes.majority import MajorityVoteClassifier
 from repro.destinations.blocklists import BlockListCollection, default_blocklists
 from repro.destinations.entities import EntityDatabase, default_entity_db
-from repro.destinations.party import DestinationLabeler
-from repro.flows.builder import FlowBuilder
 from repro.flows.dataflow import FlowTable
 from repro.linkability.alluvial import AlluvialEdge, alluvial_edges
 from repro.linkability.analysis import (
@@ -36,9 +39,8 @@ from repro.linkability.analysis import (
 )
 from repro.model import TraceColumn
 from repro.ontology.nodes import Level3
-from repro.pipeline.corpus import CorpusProcessor
 from repro.pipeline.dataset import DatasetSummary
-from repro.services.catalog import ServiceSpec
+from repro.pipeline.engine import AuditEngine, default_classifier, labeler_for
 from repro.services.generator import CorpusConfig
 
 
@@ -75,95 +77,66 @@ class DiffAudit:
     entity_db: EntityDatabase | None = None
     blocklists: BlockListCollection | None = None
     artifacts_dir: Path | None = None
+    jobs: int = 1  # shard workers; 1 = sequential in-process
 
     def __post_init__(self) -> None:
         if self.classifier is None:
-            # The paper's final labeling scheme: majority-average @0.8.
-            self.classifier = MajorityVoteClassifier(confidence_mode="avg")
+            self.classifier = default_classifier()
         if self.entity_db is None:
             self.entity_db = default_entity_db()
         if self.blocklists is None:
             self.blocklists = default_blocklists()
 
-    def _labeler_for(self, spec: ServiceSpec) -> DestinationLabeler:
-        return DestinationLabeler(
-            service_names=spec.first_party_names,
-            first_party_owner=spec.first_party_owner,
+    def engine(self) -> AuditEngine:
+        """The shard/process/merge engine this run is configured for.
+
+        Built fresh from the current field values, so assigning e.g.
+        ``audit.classifier`` after construction still takes effect.
+        """
+        return AuditEngine(
+            config=self.config,
+            classifier=self.classifier,
+            confidence_threshold=self.confidence_threshold,
             entity_db=self.entity_db,
             blocklists=self.blocklists,
+            artifacts_dir=self.artifacts_dir,
+            jobs=self.jobs,
         )
 
     def run(self) -> DiffAuditResult:
-        processor = CorpusProcessor(
-            config=self.config, artifacts_dir=self.artifacts_dir
-        )
+        merged = self.engine().run()
         specs = {spec.key: spec for spec in self.config.service_specs()}
-        labelers = {key: self._labeler_for(spec) for key, spec in specs.items()}
-        builder = FlowBuilder(
-            classifier=self.classifier,
-            confidence_threshold=self.confidence_threshold,
-        )
-
-        flows = FlowTable()
-        dataset = DatasetSummary()
-        contacted: dict[str, set[str]] = {key: set() for key in specs}
-        raw_keys: set[str] = set()
-
-        for parsed in processor:
-            dataset.add_trace(parsed)
-            service = parsed.meta.service
-            labeler = labelers[service]
-            contacted[service].update(parsed.contacted_hosts())
-            for request in parsed.requests:
-                observations = builder.flows_for_request(
-                    request,
-                    labeler,
-                    service=service,
-                    platform=parsed.meta.platform,
-                    kind=parsed.meta.kind,
-                    age=parsed.meta.age,
-                )
-                flows.extend(observations)
-            # Opaque flows still label their destinations (party/ATS
-            # classification does not need plaintext).
-            for host in parsed.opaque_hosts:
-                if host:
-                    labeler.label(host)
-            from repro.datatypes.extract import extract_from_request
-
-            for request in parsed.requests:
-                raw_keys.update(
-                    item.key for item in extract_from_request(request)
-                )
-
-        # Register parties for every contacted host so the census sees
-        # destination-only (opaque) contacts too.
-        for service, hosts in contacted.items():
-            labeler = labelers[service]
-            for host in hosts:
-                label = labeler.label(host)
-                flows._party_by_fqdn.setdefault((service, host), label.party)
+        labelers = {
+            key: labeler_for(spec, self.entity_db, self.blocklists)
+            for key, spec in specs.items()
+        }
+        flows = merged.flows
 
         audits = {service: audit_service(flows, service) for service in specs}
         linkability = linkability_matrix(flows, services=sorted(specs))
 
         def owner_of(service: str, fqdn: str) -> str | None:
+            # Shards already labeled every contacted host; fall back to
+            # a fresh labeler only for destinations they never saw.
+            key = (service, fqdn)
+            if key in merged.owners:
+                return merged.owners[key]
             return labelers[service].label(fqdn).owner
 
-        census = destination_census(flows, contacted, owner_of)
+        census = destination_census(flows, merged.contacted, owner_of)
         edges = alluvial_edges(flows, owner_of)
         common_set, common_count = most_common_linkable_set(flows)
 
         return DiffAuditResult(
             config=self.config,
             flows=flows,
-            dataset=dataset,
+            dataset=merged.dataset,
             audits=audits,
             linkability=linkability,
             census=census,
             alluvial=edges,
             common_linkable_set=common_set,
             common_linkable_count=common_count,
-            classified_keys=builder.classified_keys,
-            unique_data_types=len(raw_keys),
+            classified_keys=merged.classified_keys,
+            unique_data_types=len(merged.raw_keys),
         )

@@ -1,0 +1,346 @@
+"""Parallel sharded audit engine.
+
+The corpus shards naturally by service: trace generation is seeded per
+``(seed, service, platform, kind, age)``, the beacon cursor is
+per-service, and classification is a pure function of the key — so one
+service's capture → parse → classify → flow-build stage never observes
+another's state.  The engine exploits that:
+
+1. **shard** — one :class:`ShardTask` per configured service;
+2. **capture/parse/classify/flow-build** — :func:`process_shard` runs
+   the whole per-service stage and returns a :class:`ShardResult`;
+3. **merge** — shard results fold into one :class:`FlowTable` and
+   :class:`DatasetSummary` in service-spec order, so the merged state
+   is byte-for-byte what the sequential loop produces;
+4. **audit/linkability** — downstream analyses run on the merged state
+   (in :class:`repro.pipeline.diffaudit.DiffAudit`).
+
+Executors decide *where* stage 2 runs: :class:`SequentialExecutor`
+in-process (deterministic fallback, zero overhead), or
+:class:`ProcessPoolShardExecutor` across worker processes
+(``--jobs N``).  ``ProcessPoolExecutor.map`` preserves input order, so
+both paths merge identically.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Protocol
+
+from repro.datatypes.base import Classifier
+from repro.datatypes.cache import CachingClassifier
+from repro.datatypes.extract import extract_from_request
+from repro.destinations.blocklists import BlockListCollection
+from repro.destinations.entities import EntityDatabase
+from repro.destinations.party import DestinationLabeler
+from repro.flows.builder import FlowBuilder
+from repro.flows.dataflow import FlowTable
+from repro.pipeline.corpus import CorpusProcessor
+from repro.pipeline.dataset import DatasetSummary
+from repro.services.catalog import ServiceSpec
+from repro.services.generator import CorpusConfig
+
+
+@dataclass
+class ShardTask:
+    """Everything one worker needs to process one service shard.
+
+    The task is self-contained and picklable: a worker process
+    reconstructs the processor, labeler and flow builder from it
+    without sharing any state with the parent.
+    """
+
+    service: str
+    config: CorpusConfig  # already restricted to this one service
+    classifier: Classifier
+    confidence_threshold: float
+    entity_db: EntityDatabase
+    blocklists: BlockListCollection
+    artifacts_dir: Path | None = None
+
+
+@dataclass
+class ShardResult:
+    """One service's slice of the corpus, ready to merge."""
+
+    service: str
+    flows: FlowTable
+    dataset: DatasetSummary
+    contacted: set[str]
+    raw_keys: set[str]
+    classified: set[str]  # unique keys this shard's builder classified
+    owners: dict[str, str | None] = field(default_factory=dict)  # fqdn -> owner
+    trace_count: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+def default_classifier() -> Classifier:
+    """The paper's final labeling scheme: majority-average @0.8."""
+    from repro.datatypes.majority import MajorityVoteClassifier
+
+    return MajorityVoteClassifier(confidence_mode="avg")
+
+
+def labeler_for(
+    spec: ServiceSpec,
+    entity_db: EntityDatabase,
+    blocklists: BlockListCollection,
+) -> DestinationLabeler:
+    """One service's destination labeler (shared by shard and audit)."""
+    return DestinationLabeler(
+        service_names=spec.first_party_names,
+        first_party_owner=spec.first_party_owner,
+        entity_db=entity_db,
+        blocklists=blocklists,
+    )
+
+
+def process_shard(task: ShardTask) -> ShardResult:
+    """Run capture → parse → classify → flow-build for one service."""
+    processor = CorpusProcessor(config=task.config, artifacts_dir=task.artifacts_dir)
+    (spec,) = [s for s in task.config.service_specs() if s.key == task.service]
+    labeler = labeler_for(spec, task.entity_db, task.blocklists)
+    # A task may arrive with an already-cached classifier (the
+    # sequential executor shares one cache across shards, so keys
+    # common to several services are classified once per corpus);
+    # count only this shard's hits/misses either way.
+    cache = CachingClassifier.wrap(task.classifier)
+    hits_before, misses_before = cache.hits, cache.misses
+    builder = FlowBuilder(
+        classifier=cache, confidence_threshold=task.confidence_threshold
+    )
+
+    flows = FlowTable()
+    dataset = DatasetSummary()
+    contacted: set[str] = set()
+    raw_keys: set[str] = set()
+    trace_count = 0
+
+    for parsed in processor:
+        trace_count += 1
+        dataset.add_trace(parsed)
+        contacted.update(parsed.contacted_hosts())
+        for request in parsed.requests:
+            observations = builder.flows_for_request(
+                request,
+                labeler,
+                service=task.service,
+                platform=parsed.meta.platform,
+                kind=parsed.meta.kind,
+                age=parsed.meta.age,
+            )
+            flows.extend(observations)
+            raw_keys.update(item.key for item in extract_from_request(request))
+        # Opaque flows still label their destinations (party/ATS
+        # classification does not need plaintext).
+        for host in parsed.opaque_hosts:
+            if host:
+                labeler.label(host)
+
+    # Register parties (and owners, for the census/alluvial lookups
+    # downstream) for every contacted host so destination-only
+    # (opaque) contacts count too.
+    owners: dict[str, str | None] = {}
+    for host in contacted:
+        label = labeler.label(host)
+        flows.register_party(task.service, host, label.party)
+        owners[host] = label.owner
+
+    return ShardResult(
+        service=task.service,
+        flows=flows,
+        dataset=dataset,
+        contacted=contacted,
+        raw_keys=raw_keys,
+        classified=builder.classified_key_set(),
+        owners=owners,
+        trace_count=trace_count,
+        cache_hits=cache.hits - hits_before,
+        cache_misses=cache.misses - misses_before,
+    )
+
+
+def _generate_shard(shard: tuple[CorpusConfig, Path | None]) -> int:
+    """Generate + capture one service's artifacts, skipping analysis."""
+    config, artifacts_dir = shard
+    processor = CorpusProcessor(config=config, artifacts_dir=artifacts_dir)
+    return sum(1 for _ in processor)
+
+
+def generate_corpus_artifacts(
+    config: CorpusConfig, artifacts_dir: Path | None, jobs: int = 1
+) -> int:
+    """Write every trace artifact to disk; returns the trace count.
+
+    The generate-only sibling of :meth:`AuditEngine.run`: shards the
+    same way but stops after capture — no classification, labeling or
+    flow building — since ``python -m repro generate`` discards those.
+    """
+    executor = executor_for(jobs)
+    shards = [
+        (config.for_service(spec.key), artifacts_dir)
+        for spec in config.service_specs()
+    ]
+    return sum(executor.map_shards(shards, work=_generate_shard))
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+
+
+class ShardExecutor(Protocol):
+    """Anything that can run shard work and return ordered results."""
+
+    jobs: int
+
+    def map_shards(
+        self, tasks: list, work: Callable = process_shard
+    ) -> list:  # pragma: no cover
+        ...
+
+
+@dataclass
+class SequentialExecutor:
+    """In-process execution — the deterministic, zero-overhead fallback."""
+
+    jobs: int = 1
+
+    def map_shards(self, tasks: list, work: Callable = process_shard) -> list:
+        return [work(task) for task in tasks]
+
+
+@dataclass
+class ProcessPoolShardExecutor:
+    """Shard execution across worker processes.
+
+    ``ProcessPoolExecutor.map`` yields results in submission order, so
+    the merge downstream is independent of worker scheduling.
+    """
+
+    jobs: int = 2
+
+    def map_shards(self, tasks: list, work: Callable = process_shard) -> list:
+        if len(tasks) <= 1:
+            return SequentialExecutor().map_shards(tasks, work)
+        workers = min(self.jobs, len(tasks))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(work, tasks))
+
+
+def executor_for(jobs: int) -> ShardExecutor:
+    """Pick the executor for a ``--jobs N`` setting."""
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1:
+        return SequentialExecutor()
+    return ProcessPoolShardExecutor(jobs=jobs)
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class EngineOutput:
+    """The merged corpus-wide state the downstream audit consumes."""
+
+    flows: FlowTable
+    dataset: DatasetSummary
+    contacted: dict[str, set[str]]  # service -> contacted hosts
+    raw_keys: set[str]
+    classified_keys: int
+    owners: dict[tuple[str, str], str | None] = field(default_factory=dict)
+    trace_count: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+@dataclass
+class AuditEngine:
+    """Stages 1–3 of the pipeline: shard, process, merge."""
+
+    config: CorpusConfig = field(default_factory=CorpusConfig)
+    classifier: Classifier | None = None
+    confidence_threshold: float = 0.8
+    entity_db: EntityDatabase | None = None
+    blocklists: BlockListCollection | None = None
+    artifacts_dir: Path | None = None
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.classifier is None:
+            self.classifier = default_classifier()
+        if self.entity_db is None:
+            from repro.destinations.entities import default_entity_db
+
+            self.entity_db = default_entity_db()
+        if self.blocklists is None:
+            from repro.destinations.blocklists import default_blocklists
+
+            self.blocklists = default_blocklists()
+
+    def shard_tasks(self) -> list[ShardTask]:
+        """One task per configured service, in service-spec order."""
+        return [
+            ShardTask(
+                service=spec.key,
+                config=self.config.for_service(spec.key),
+                classifier=self.classifier,
+                confidence_threshold=self.confidence_threshold,
+                entity_db=self.entity_db,
+                blocklists=self.blocklists,
+                artifacts_dir=self.artifacts_dir,
+            )
+            for spec in self.config.service_specs()
+        ]
+
+    @staticmethod
+    def merge(results: list[ShardResult]) -> EngineOutput:
+        """Fold ordered shard results into corpus-wide state."""
+        flows = FlowTable()
+        dataset = DatasetSummary()
+        contacted: dict[str, set[str]] = {}
+        raw_keys: set[str] = set()
+        classified: set[str] = set()
+        owners: dict[tuple[str, str], str | None] = {}
+        trace_count = 0
+        hits = misses = 0
+        for result in results:
+            flows.merge(result.flows)
+            dataset.merge(result.dataset)
+            contacted[result.service] = set(result.contacted)
+            raw_keys.update(result.raw_keys)
+            classified.update(result.classified)
+            for fqdn, owner in result.owners.items():
+                owners[(result.service, fqdn)] = owner
+            trace_count += result.trace_count
+            hits += result.cache_hits
+            misses += result.cache_misses
+        return EngineOutput(
+            flows=flows,
+            dataset=dataset,
+            contacted=contacted,
+            raw_keys=raw_keys,
+            classified_keys=len(classified),
+            owners=owners,
+            trace_count=trace_count,
+            cache_hits=hits,
+            cache_misses=misses,
+        )
+
+    def run(self) -> EngineOutput:
+        executor = executor_for(self.jobs)
+        tasks = self.shard_tasks()
+        if isinstance(executor, SequentialExecutor):
+            # In-process shards can share one classification cache, so
+            # keys common to several services classify once per corpus
+            # (results are unchanged: classification is per-key pure).
+            shared = CachingClassifier.wrap(self.classifier)
+            for task in tasks:
+                task.classifier = shared
+        return self.merge(executor.map_shards(tasks))

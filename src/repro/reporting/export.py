@@ -85,6 +85,8 @@ def result_to_json(result: DiffAuditResult) -> str:
         "config": {
             "seed": result.config.seed,
             "scale": result.config.scale,
+            "profile": result.config.profile,
+            "effective_scale": result.config.effective_scale,
             "services": sorted(result.audits),
         },
         "dataset": {

@@ -21,7 +21,13 @@ HAR/PCAP artifacts produced by :mod:`repro.capture`.
 """
 
 from repro.services.catalog import SERVICES, ServiceSpec, service
-from repro.services.generator import CorpusConfig, RawTrace, TrafficGenerator
+from repro.services.generator import (
+    LOAD_PROFILES,
+    CorpusConfig,
+    LoadProfile,
+    RawTrace,
+    TrafficGenerator,
+)
 from repro.services.profiles import ServiceProfile, profile_for
 
 __all__ = [
@@ -29,6 +35,8 @@ __all__ = [
     "ServiceSpec",
     "service",
     "CorpusConfig",
+    "LoadProfile",
+    "LOAD_PROFILES",
     "RawTrace",
     "TrafficGenerator",
     "ServiceProfile",

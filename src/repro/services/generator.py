@@ -23,6 +23,7 @@ The generator is fully deterministic for a given :class:`CorpusConfig`.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import itertools
 import json
@@ -76,6 +77,38 @@ _PACKET_WEIGHTS = {
 }
 
 
+@dataclass(frozen=True)
+class LoadProfile:
+    """A named traffic-intensity preset (SNIPPETS-style load modes).
+
+    Profiles scale the configured volume without touching the
+    structural results: the Table 4 grid and the Figure 3/4 linkable
+    shapes are scale-independent, so a profile only moves packet and
+    flow volumes (and, for ``stress``, the request-rate density).
+    """
+
+    name: str
+    scale_multiplier: float  # packet/flow volume vs the configured scale
+    rate_multiplier: float = 1.0  # requests per wall-clock second
+    description: str = ""
+
+
+LOAD_PROFILES: dict[str, LoadProfile] = {
+    "light": LoadProfile(
+        "light", 0.25, description="quarter volume — smoke tests, CI"
+    ),
+    "standard": LoadProfile(
+        "standard", 1.0, description="the configured scale, unchanged"
+    ),
+    "heavy": LoadProfile(
+        "heavy", 4.0, 2.0, description="4x volume at double request rate"
+    ),
+    "stress": LoadProfile(
+        "stress", 10.0, 5.0, description="10x volume at 5x request rate"
+    ),
+}
+
+
 @dataclass
 class CorpusConfig:
     """Knobs of the corpus generation run."""
@@ -89,6 +122,21 @@ class CorpusConfig:
     # (only relevant when bundles use non-standard keys; the default
     # stable-key bundles survive classification, so no overshoot).
     fanout_overshoot: float = 1.0
+    profile: str = "standard"  # named load profile, see LOAD_PROFILES
+
+    def __post_init__(self) -> None:
+        if self.profile not in LOAD_PROFILES:
+            known = ", ".join(sorted(LOAD_PROFILES))
+            raise ValueError(f"unknown load profile {self.profile!r} (known: {known})")
+
+    @property
+    def load_profile(self) -> LoadProfile:
+        return LOAD_PROFILES[self.profile]
+
+    @property
+    def effective_scale(self) -> float:
+        """The volume multiplier after the load profile is applied."""
+        return self.scale * self.load_profile.scale_multiplier
 
     def service_specs(self) -> list[ServiceSpec]:
         specs = SERVICES()
@@ -96,6 +144,10 @@ class CorpusConfig:
             return specs
         wanted = set(self.services)
         return [spec for spec in specs if spec.key in wanted]
+
+    def for_service(self, service: str) -> "CorpusConfig":
+        """This config restricted to one service (the engine's shard unit)."""
+        return dataclasses.replace(self, services=(service,))
 
 
 @dataclass
@@ -184,13 +236,13 @@ class TrafficGenerator:
         for index, (platform, kind, age) in enumerate(units):
             packet_share = (
                 spec.profile.volume.packets
-                * self.config.scale
+                * self.config.effective_scale
                 * weights[index]
                 / total_weight
             )
             flow_share = (
                 spec.profile.volume.tcp_flows
-                * self.config.scale
+                * self.config.effective_scale
                 * weights[index]
                 / total_weight
             )
@@ -902,7 +954,9 @@ class TrafficGenerator:
         rng: random.Random,
     ) -> list[TracedRequest]:
         """Assign timestamps and connection ids (TCP flow shaping)."""
-        duration = _DURATIONS[kind]
+        # Load profiles with a higher request rate compress the same
+        # session into less wall-clock time (denser timestamps).
+        duration = _DURATIONS[kind] / self.config.load_profile.rate_multiplier
         start = self.config.start_epoch + unit_index * 3_600.0
         count = max(1, len(requests))
 

@@ -21,6 +21,32 @@ class TestParser:
         assert args.scale == 0.02
         assert args.seed == 2023
         assert args.services is None
+        assert args.jobs == 1
+        assert args.profile == "standard"
+
+    def test_jobs_flag(self):
+        args = build_parser().parse_args(["audit", "--jobs", "4"])
+        assert args.jobs == 4
+
+    def test_profile_flag(self):
+        args = build_parser().parse_args(["audit", "--profile", "heavy"])
+        assert args.profile == "heavy"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["audit", "--profile", "ludicrous"])
+
+    def test_non_positive_jobs_rejected(self):
+        for bad in ("0", "-2"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["audit", "--jobs", bad])
+
+    def test_generate_accepts_jobs_and_profile(self):
+        args = build_parser().parse_args(
+            ["generate", "--jobs", "2", "--profile", "light"]
+        )
+        assert args.jobs == 2
+        assert args.profile == "light"
 
 
 class TestClassifyCommand:
@@ -50,6 +76,14 @@ class TestAuditCommand:
         main(["audit", "--services", "youtube", "--scale", "0.003", "--json"])
         document = json.loads(capsys.readouterr().out)
         assert "youtube" in document["dataset"]
+
+    def test_parallel_jobs_match_sequential(self, capsys):
+        # Two services, so --jobs 2 really exercises the process pool.
+        base = ["audit", "--services", "youtube", "tiktok", "--scale", "0.003", "--seed", "7"]
+        main(base)
+        sequential = capsys.readouterr().out
+        main([*base, "--jobs", "2"])
+        assert capsys.readouterr().out == sequential
 
     def test_csv_export(self, tmp_path, capsys):
         main(

@@ -1,0 +1,276 @@
+"""Unit tests for the parallel sharded audit engine."""
+
+import pytest
+
+from repro import CorpusConfig, DiffAudit
+from repro.datatypes.base import Classification
+from repro.datatypes.cache import CachingClassifier
+from repro.destinations.party import PartyLabel
+from repro.flows.dataflow import FlowObservation, FlowTable
+from repro.model import Platform, TraceColumn
+from repro.ontology.nodes import Level3
+from repro.pipeline.dataset import DatasetSummary, ServiceDatasetStats
+from repro.pipeline.engine import (
+    AuditEngine,
+    ProcessPoolShardExecutor,
+    SequentialExecutor,
+    executor_for,
+)
+from repro.services.generator import LOAD_PROFILES
+
+
+def _observation(
+    service="svc",
+    fqdn="t.tracker.com",
+    level3=Level3.AGE,
+    party=PartyLabel.THIRD_PARTY_ATS,
+    platform=Platform.WEB,
+    column=TraceColumn.ADULT,
+):
+    return FlowObservation(
+        service=service,
+        column=column,
+        platform=platform,
+        level3=level3,
+        fqdn=fqdn,
+        esld="tracker.com",
+        party=party,
+        raw_key="age",
+    )
+
+
+class TestFlowTableMerge:
+    def test_merge_rebuilds_rollups(self):
+        left = FlowTable()
+        left.add(_observation(service="a"))
+        right = FlowTable()
+        right.add(_observation(service="b", fqdn="x.other.com"))
+        right.add(
+            _observation(
+                service="b", level3=Level3.ALIASES, platform=Platform.MOBILE
+            )
+        )
+
+        left.merge(right)
+        assert len(left) == 3
+        assert left.services() == ["a", "b"]
+        assert left.party_of("b", "x.other.com") is PartyLabel.THIRD_PARTY_ATS
+        # Per-destination linkability sets merged for third parties,
+        # keyed by service: b's aliases never mix into a's set.
+        sets = left.third_party_type_sets("b", TraceColumn.ADULT)
+        assert sets["t.tracker.com"] == {Level3.ALIASES}
+        assert sets["x.other.com"] == {Level3.AGE}
+        assert left.third_party_type_sets("a", TraceColumn.ADULT)[
+            "t.tracker.com"
+        ] == {Level3.AGE}
+
+    def test_merge_is_order_preserving(self):
+        one, two = FlowTable(), FlowTable()
+        first = _observation(service="a")
+        second = _observation(service="b")
+        one.add(first)
+        two.add(second)
+        merged = FlowTable()
+        merged.merge(one)
+        merged.merge(two)
+        assert merged.observations() == [first, second]
+
+    def test_merge_equals_direct_adds(self):
+        observations = [
+            _observation(service="a"),
+            _observation(service="a", level3=Level3.NAME),
+            _observation(service="b", fqdn="y.other.com", party=PartyLabel.THIRD_PARTY),
+        ]
+        direct = FlowTable()
+        direct.extend(observations)
+        sharded = FlowTable()
+        for observation in observations:
+            shard = FlowTable()
+            shard.add(observation)
+            sharded.merge(shard)
+        assert sharded.observations() == direct.observations()
+        assert sharded._grid == direct._grid
+        assert sharded._per_destination == direct._per_destination
+        assert sharded._party_by_fqdn == direct._party_by_fqdn
+
+    def test_register_party_never_overrides_observed(self):
+        table = FlowTable()
+        table.add(_observation())
+        table.register_party("svc", "t.tracker.com", PartyLabel.FIRST_PARTY)
+        assert table.party_of("svc", "t.tracker.com") is PartyLabel.THIRD_PARTY_ATS
+
+    def test_register_party_fills_opaque_contacts(self):
+        table = FlowTable()
+        table.register_party("svc", "pinned.cdn.com", PartyLabel.FIRST_PARTY)
+        assert table.party_of("svc", "pinned.cdn.com") is PartyLabel.FIRST_PARTY
+
+    def test_merge_keeps_registered_parties(self):
+        shard = FlowTable()
+        shard.register_party("svc", "opaque.host.com", PartyLabel.THIRD_PARTY)
+        merged = FlowTable()
+        merged.merge(shard)
+        assert merged.party_of("svc", "opaque.host.com") is PartyLabel.THIRD_PARTY
+
+
+class TestDatasetSummaryMerge:
+    def test_merge_disjoint_services(self):
+        left, right = DatasetSummary(), DatasetSummary()
+        left.per_service["a"] = ServiceDatasetStats(
+            service="a", fqdns={"x.a.com"}, eslds={"a.com"}, packets=5, tcp_flows=2
+        )
+        right.per_service["b"] = ServiceDatasetStats(
+            service="b", fqdns={"y.b.com"}, eslds={"b.com"}, packets=7, tcp_flows=3
+        )
+        left.merge(right)
+        assert left.total_packets == 12
+        assert left.total_domains == 2
+
+    def test_merge_same_service_unions(self):
+        left, right = DatasetSummary(), DatasetSummary()
+        left.per_service["a"] = ServiceDatasetStats(
+            service="a", fqdns={"x.a.com"}, eslds={"a.com"}, packets=5, tcp_flows=2
+        )
+        right.per_service["a"] = ServiceDatasetStats(
+            service="a",
+            fqdns={"x.a.com", "z.a.com"},
+            eslds={"a.com"},
+            packets=1,
+            tcp_flows=1,
+        )
+        left.merge(right)
+        stats = left.per_service["a"]
+        assert stats.domain_count == 2
+        assert stats.packets == 6
+        assert stats.tcp_flows == 3
+
+
+class CountingClassifier:
+    """Deterministic classifier that counts classify() invocations."""
+
+    name = "counting"
+
+    def __init__(self):
+        self.calls = 0
+
+    def classify(self, text):
+        self.calls += 1
+        return Classification(text=text, label=Level3.AGE, confidence=0.9)
+
+    def classify_batch(self, texts):
+        return [self.classify(text) for text in texts]
+
+
+class TestCachingClassifier:
+    def test_repeated_keys_classified_once(self):
+        inner = CountingClassifier()
+        cache = CachingClassifier(inner)
+        first = cache.classify("age")
+        second = cache.classify("age")
+        assert first == second
+        assert inner.calls == 1
+        assert cache.hits == 1 and cache.misses == 1
+        assert len(cache) == 1
+        assert cache.cached_keys() == {"age"}
+
+    def test_distinct_keys_all_miss(self):
+        inner = CountingClassifier()
+        cache = CachingClassifier(inner)
+        cache.classify_batch(["a", "b", "a", "c"])
+        assert inner.calls == 3
+        assert cache.hit_rate == pytest.approx(0.25)
+        assert cache.name == "cached-counting"
+
+
+class TestExecutors:
+    def test_jobs_one_is_sequential(self):
+        assert isinstance(executor_for(1), SequentialExecutor)
+
+    def test_jobs_many_is_process_pool(self):
+        executor = executor_for(4)
+        assert isinstance(executor, ProcessPoolShardExecutor)
+        assert executor.jobs == 4
+
+    def test_jobs_zero_rejected(self):
+        with pytest.raises(ValueError):
+            executor_for(0)
+
+
+class TestLoadProfiles:
+    def test_known_profiles(self):
+        assert set(LOAD_PROFILES) == {"light", "standard", "heavy", "stress"}
+
+    def test_standard_is_identity(self):
+        config = CorpusConfig(scale=0.01)
+        assert config.effective_scale == pytest.approx(0.01)
+
+    def test_profiles_scale_volume(self):
+        light = CorpusConfig(scale=0.01, profile="light")
+        heavy = CorpusConfig(scale=0.01, profile="heavy")
+        assert light.effective_scale == pytest.approx(0.0025)
+        assert heavy.effective_scale == pytest.approx(0.04)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown load profile"):
+            CorpusConfig(profile="ludicrous")
+
+    def test_for_service_restricts_and_keeps_knobs(self):
+        config = CorpusConfig(scale=0.01, seed=9, profile="light")
+        shard = config.for_service("tiktok")
+        assert shard.services == ("tiktok",)
+        assert shard.seed == 9 and shard.profile == "light"
+        assert [spec.key for spec in shard.service_specs()] == ["tiktok"]
+
+    def test_heavier_profile_means_more_packets(self):
+        # At scale 0.02 the volume targets bind (filler traffic is
+        # non-zero), so profiles must separate the packet totals.
+        light = CorpusConfig(scale=0.02, services=("youtube",), profile="light")
+        heavy = CorpusConfig(scale=0.02, services=("youtube",), profile="heavy")
+        engine_light = AuditEngine(config=light).run()
+        engine_heavy = AuditEngine(config=heavy).run()
+        assert (
+            engine_heavy.dataset.total_packets
+            > engine_light.dataset.total_packets
+        )
+        # A profile is exactly a scale multiplier for volume purposes:
+        # heavy at 0.02 produces the same packet count as standard at
+        # the equivalent 0.08 scale.
+        equivalent = CorpusConfig(scale=0.08, services=("youtube",))
+        engine_equivalent = AuditEngine(config=equivalent).run()
+        assert (
+            engine_heavy.dataset.total_packets
+            == engine_equivalent.dataset.total_packets
+        )
+
+
+class TestEngineParity:
+    """Sequential and parallel paths must be result-identical."""
+
+    CONFIG = CorpusConfig(scale=0.003, seed=11, services=("tiktok", "youtube"))
+
+    def test_sequential_vs_parallel_results(self):
+        from repro.reporting.export import result_to_json
+
+        sequential = DiffAudit(self.CONFIG, jobs=1).run()
+        parallel = DiffAudit(self.CONFIG, jobs=2).run()
+        assert result_to_json(sequential) == result_to_json(parallel)
+        assert sequential.flows.observations() == parallel.flows.observations()
+        assert sequential.classified_keys == parallel.classified_keys
+        assert sequential.unique_data_types == parallel.unique_data_types
+        assert sequential.linkability == parallel.linkability
+        assert (
+            sequential.common_linkable_set == parallel.common_linkable_set
+        )
+
+    def test_engine_output_contacts_every_service(self):
+        merged = AuditEngine(config=self.CONFIG).run()
+        assert set(merged.contacted) == {"tiktok", "youtube"}
+        assert merged.trace_count > 0
+        assert merged.classified_keys > 0
+        # The per-request memoization means far more hits than misses.
+        assert merged.cache_hits > merged.cache_misses
+
+    def test_artifacts_written_once_per_shard(self, tmp_path):
+        config = CorpusConfig(scale=0.002, seed=3, services=("youtube",))
+        AuditEngine(config=config, artifacts_dir=tmp_path).run()
+        assert list(tmp_path.glob("*.har"))
+        assert list(tmp_path.glob("*.pcap"))

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Docs sanity checker: module references and CLI snippets must be real.
+
+Scans README.md and docs/*.md for
+
+* ``repro.foo.bar`` dotted module/attribute references — each must
+  resolve to an importable module or an attribute of one;
+* relative markdown links — each must point at an existing file;
+* ``$ python -m repro …`` console snippets — each must parse against
+  the actual CLI argument parser (commands and flags must exist).
+
+Run from the repo root with ``PYTHONPATH=src python tools/check_docs.py``.
+Exits non-zero listing every broken reference.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+import shlex
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+
+MODULE_REF = re.compile(r"\brepro(?:\.[a-z_][a-z0-9_]*)+\b")
+MD_LINK = re.compile(r"\[[^\]]+\]\(([^)]+)\)")
+CLI_SNIPPET = re.compile(r"^\$ (?:PYTHONPATH=\S+ )?python -m repro (.+)$", re.MULTILINE)
+
+
+def check_module_ref(ref: str) -> bool:
+    """True when ``ref`` is an importable module or module attribute."""
+    parts = ref.split(".")
+    for split in range(len(parts), 0, -1):
+        module_name = ".".join(parts[:split])
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError:
+            continue
+        obj = module
+        try:
+            for attr in parts[split:]:
+                obj = getattr(obj, attr)
+        except AttributeError:
+            return False
+        return True
+    return False
+
+
+def check_cli_snippet(arg_line: str) -> str | None:
+    """Parse one documented invocation; return an error string or None."""
+    from repro.cli import build_parser
+
+    argv = shlex.split(arg_line)
+    # Neutralize writes: parsing only needs the shape, not the paths.
+    try:
+        build_parser().parse_args(argv)
+    except SystemExit:
+        return f"does not parse: python -m repro {arg_line}"
+    return None
+
+
+def main() -> int:
+    errors: list[str] = []
+    for path in DOC_FILES:
+        if not path.exists():
+            errors.append(f"{path.relative_to(ROOT)}: missing")
+            continue
+        text = path.read_text(encoding="utf-8")
+        rel = path.relative_to(ROOT)
+
+        for ref in sorted(set(MODULE_REF.findall(text))):
+            if not check_module_ref(ref):
+                errors.append(f"{rel}: unresolvable module reference {ref!r}")
+
+        for target in MD_LINK.findall(text):
+            if "://" in target or target.startswith("mailto:"):
+                continue  # external links are out of scope offline
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue  # same-file anchor
+            target_path = (path.parent / file_part).resolve()
+            if not target_path.exists():
+                errors.append(f"{rel}: broken link {target!r}")
+
+        for arg_line in CLI_SNIPPET.findall(text):
+            error = check_cli_snippet(arg_line.strip())
+            if error:
+                errors.append(f"{rel}: {error}")
+
+    if errors:
+        print(f"{len(errors)} doc problem(s):", file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    print(f"docs ok: {len(DOC_FILES)} file(s) checked")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
