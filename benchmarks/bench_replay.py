@@ -1,0 +1,63 @@
+"""Replay throughput vs the in-memory audit, plus the parity check.
+
+Measures the three legs of the artifact pipeline on the same config:
+
+* ``generate`` — write every HAR/PCAP/keylog artifact plus the manifest;
+* in-memory audit — generate → capture → parse → audit in one process
+  tree, nothing touching disk;
+* replay audit — scan the artifacts directory and audit it
+  (``audit --from-artifacts``).
+
+Replay skips traffic generation and capture encryption but adds file
+I/O and (for mobile) PCAP parsing of archived bytes; the throughput
+numbers show where that trade lands on this machine.  Parity is part
+of the benchmark: the replayed result must serialize to the same JSON
+document as the in-memory run — the replay subsystem's core contract.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import CorpusConfig, DiffAudit
+from repro.pipeline.engine import generate_corpus_artifacts
+from repro.reporting.export import result_to_json
+
+
+def test_replay_throughput(corpus_config, save_artifact, tmp_path_factory):
+    artifacts_dir = tmp_path_factory.mktemp("replay-bench-artifacts")
+
+    start = time.perf_counter()
+    trace_count = generate_corpus_artifacts(corpus_config, artifacts_dir)
+    generate_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    in_memory = DiffAudit(corpus_config).run()
+    in_memory_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    replayed = DiffAudit(corpus_config, replay=artifacts_dir).run()
+    replay_s = time.perf_counter() - start
+
+    in_memory_json = result_to_json(in_memory)
+    replayed_json = result_to_json(replayed)
+    assert replayed_json == in_memory_json, "replay diverged from in-memory audit"
+
+    artifact_bytes = sum(
+        path.stat().st_size for path in artifacts_dir.iterdir() if path.is_file()
+    )
+    lines = [
+        "Artifact replay — throughput vs in-memory audit",
+        "",
+        f"scale:               {corpus_config.scale}",
+        f"profile:             {corpus_config.profile}",
+        f"traces:              {trace_count}",
+        f"artifact bytes:      {artifact_bytes:,}",
+        f"generate:            {generate_s:.2f} s ({trace_count / generate_s:.1f} traces/s)",
+        f"in-memory audit:     {in_memory_s:.2f} s ({trace_count / in_memory_s:.1f} traces/s)",
+        f"replay audit:        {replay_s:.2f} s ({trace_count / replay_s:.1f} traces/s)",
+        f"replay vs in-memory: {in_memory_s / replay_s:.2f}x",
+        "",
+        "results byte-identical: yes",
+    ]
+    save_artifact("bench_replay.txt", "\n".join(lines))

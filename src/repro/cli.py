@@ -17,9 +17,21 @@ import sys
 from pathlib import Path
 
 from repro import CorpusConfig, DiffAudit
+from repro.pipeline.replay import ReplayCorpus, ReplayError, replay_config
+from repro.services.catalog import SERVICES
 from repro.services.generator import LOAD_PROFILES
 
-_SERVICES = ("duolingo", "minecraft", "quizlet", "roblox", "tiktok", "youtube")
+# Derived from the catalog so the CLI choices can never drift from the
+# services the pipeline actually knows.
+_SERVICES = tuple(spec.key for spec in SERVICES())
+
+# Effective defaults for corpus flags.  The parser's own defaults are
+# None ("not specified") so `audit --from-artifacts` can tell an
+# omitted flag — fill it from the corpus manifest — apart from an
+# explicitly typed value, which always wins.
+_DEFAULT_SEED = 2023
+_DEFAULT_SCALE = 0.02
+_DEFAULT_PROFILE = "standard"
 
 
 def _positive_int(value: str) -> int:
@@ -40,15 +52,16 @@ def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale",
         type=float,
-        default=0.02,
+        default=None,
         help="traffic volume relative to the paper's (default 0.02)",
     )
-    parser.add_argument("--seed", type=int, default=2023)
+    parser.add_argument("--seed", type=int, default=None, help="(default 2023)")
     parser.add_argument(
         "--profile",
         choices=sorted(LOAD_PROFILES),
-        default="standard",
-        help="named load profile scaling traffic volume and request rate",
+        default=None,
+        help="named load profile scaling traffic volume and request rate "
+        "(default standard)",
     )
     parser.add_argument(
         "--jobs",
@@ -58,21 +71,123 @@ def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _config(args) -> CorpusConfig:
-    return CorpusConfig(
-        seed=args.seed,
-        scale=args.scale,
-        services=tuple(args.services) if args.services else None,
-        profile=args.profile,
+def _add_replay_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--from-artifacts",
+        metavar="DIR",
+        default=None,
+        help="replay captured HAR/PCAP artifacts from DIR (a generate "
+        "output directory or an external corpus) instead of generating "
+        "traffic in-memory; omitted corpus flags are filled from DIR's "
+        "manifest.json",
     )
 
 
+def _config(args, corpus: ReplayCorpus | None = None) -> CorpusConfig:
+    services = tuple(args.services) if args.services else None
+    if corpus is not None:
+        manifest_config = (corpus.manifest or {}).get("config", {})
+        for name in ("seed", "scale", "profile"):
+            value = getattr(args, name)
+            if (
+                value is not None
+                and name in manifest_config
+                and value != manifest_config[name]
+            ):
+                # Replay never regenerates traffic, so these flags only
+                # change what the result's config block *claims* about
+                # the archived corpus — say so instead of silently
+                # mislabeling the data.
+                print(
+                    f"warning: --{name} {value} overrides the corpus manifest's "
+                    f"{name} {manifest_config[name]}; replayed traffic is "
+                    "unchanged, only the reported config differs",
+                    file=sys.stderr,
+                )
+        return replay_config(
+            corpus,
+            seed=args.seed,
+            scale=args.scale,
+            profile=args.profile,
+            services=services,
+            fallback=CorpusConfig(
+                seed=_DEFAULT_SEED, scale=_DEFAULT_SCALE, profile=_DEFAULT_PROFILE
+            ),
+        )
+    return CorpusConfig(
+        seed=args.seed if args.seed is not None else _DEFAULT_SEED,
+        scale=args.scale if args.scale is not None else _DEFAULT_SCALE,
+        services=services,
+        profile=args.profile if args.profile is not None else _DEFAULT_PROFILE,
+    )
+
+
+def _scan_replay_corpus(args) -> ReplayCorpus | None:
+    if not getattr(args, "from_artifacts", None):
+        return None
+    return ReplayCorpus.scan(Path(args.from_artifacts))
+
+
+def _output_usage_error(args) -> str | None:
+    """Reject the ambiguous ``--output`` forms before running anything.
+
+    With ``--json``, ``--output`` names the JSON summary *file*;
+    without it, ``--output`` names the *directory* that receives
+    ``flows.csv`` and ``findings.csv``.  Mixing the two used to fail
+    only after a full (multi-minute at scale) audit run, or worse,
+    silently create a directory named ``results.json``.
+    """
+    if not args.output:
+        return None
+    path = Path(args.output)
+    if args.json:
+        if path.is_dir():
+            return (
+                f"error: with --json, --output must be a file path, but "
+                f"{args.output!r} is an existing directory"
+            )
+        if not path.parent.is_dir():
+            return (
+                f"error: cannot write {args.output!r}: parent directory "
+                f"{str(path.parent)!r} does not exist"
+            )
+    else:
+        if path.suffix == ".json":
+            return (
+                f"error: without --json, --output names a directory for CSV "
+                f"exports, but {args.output!r} looks like a JSON file path "
+                "(add --json for a JSON summary file)"
+            )
+        if path.is_file():
+            return (
+                f"error: without --json, --output names a directory for CSV "
+                f"exports, but {args.output!r} is an existing file"
+            )
+    return None
+
+
 def cmd_audit(args) -> int:
-    result = DiffAudit(_config(args), jobs=args.jobs).run()
+    error = _output_usage_error(args)
+    if error is None and args.with_provenance and not (
+        args.from_artifacts and args.json
+    ):
+        error = "error: --with-provenance requires --from-artifacts and --json"
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    try:
+        corpus = _scan_replay_corpus(args)
+        result = DiffAudit(
+            _config(args, corpus), replay=corpus, jobs=args.jobs
+        ).run()
+    except ReplayError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.json:
         from repro.reporting.export import result_to_json
 
-        output = result_to_json(result)
+        provenance = corpus.provenance() if args.with_provenance else None
+        output = result_to_json(result, provenance=provenance)
         if args.output:
             Path(args.output).write_text(output)
             print(f"wrote {args.output}")
@@ -97,8 +212,20 @@ def cmd_audit(args) -> int:
 def cmd_classify(args) -> int:
     from repro.datatypes.majority import MajorityVoteClassifier
 
+    keys = args.keys
+    if not keys:
+        if sys.stdin.isatty():
+            # Without this, an interactive `repro classify` blocks
+            # silently on a terminal read that looks like a hang.
+            print(
+                "error: no keys given and stdin is a terminal; pass keys as "
+                "arguments (repro classify email age) or pipe them in "
+                "(printf 'email\\nage\\n' | repro classify)",
+                file=sys.stderr,
+            )
+            return 2
+        keys = [line.strip() for line in sys.stdin if line.strip()]
     classifier = MajorityVoteClassifier(confidence_mode=args.mode)
-    keys = args.keys or [line.strip() for line in sys.stdin if line.strip()]
     for verdict in classifier.classify_batch(keys):
         print(verdict.formatted())
     return 0
@@ -108,13 +235,24 @@ def cmd_generate(args) -> int:
     from repro.pipeline.engine import generate_corpus_artifacts
 
     directory = Path(args.output)
-    count = generate_corpus_artifacts(_config(args), directory, jobs=args.jobs)
+    try:
+        count = generate_corpus_artifacts(_config(args), directory, jobs=args.jobs)
+    except ReplayError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"wrote {count} trace artifacts into {directory}/")
     return 0
 
 
 def cmd_report(args) -> int:
-    result = DiffAudit(_config(args), jobs=args.jobs).run()
+    try:
+        corpus = _scan_replay_corpus(args)
+        result = DiffAudit(
+            _config(args, corpus), replay=corpus, jobs=args.jobs
+        ).run()
+    except ReplayError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     from repro.linkability.analysis import linkability_matrix
     from repro.reporting import (
         render_census,
@@ -198,8 +336,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     audit = sub.add_parser("audit", help="run the full audit pipeline")
     _add_corpus_arguments(audit)
+    _add_replay_argument(audit)
     audit.add_argument("--json", action="store_true", help="emit a JSON summary")
-    audit.add_argument("--output", help="output file (JSON) or directory (CSV)")
+    audit.add_argument(
+        "--output",
+        help="with --json: file path for the JSON summary; without --json: "
+        "directory that receives flows.csv and findings.csv",
+    )
+    audit.add_argument(
+        "--with-provenance",
+        action="store_true",
+        help="include replay provenance (source directory, trace counts) in "
+        "the JSON summary; requires --from-artifacts and --json",
+    )
     audit.set_defaults(func=cmd_audit)
 
     classify = sub.add_parser("classify", help="classify raw data type keys")
@@ -214,6 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("report", help="render one paper table/figure")
     _add_corpus_arguments(report)
+    _add_replay_argument(report)
     report.add_argument(
         "artifact",
         choices=(

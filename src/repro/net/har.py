@@ -10,6 +10,7 @@ and round-trips it losslessly for the fields we care about.
 from __future__ import annotations
 
 import base64
+import datetime as _dt
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -50,19 +51,22 @@ class Har:
 
 
 def _epoch_to_iso(epoch: float) -> str:
-    # HAR wants ISO 8601; we render UTC with millisecond precision
-    # without importing datetime formatting subtleties into hot paths.
-    import datetime as _dt
-
+    # HAR wants ISO 8601; we render UTC with microsecond precision so
+    # epoch → ISO → epoch round-trips without drift (millisecond
+    # rendering floored away sub-ms bits, which broke replay parity
+    # checks on archived artifacts).
     stamp = _dt.datetime.fromtimestamp(epoch, tz=_dt.timezone.utc)
-    return stamp.strftime("%Y-%m-%dT%H:%M:%S.") + f"{stamp.microsecond // 1000:03d}Z"
+    return stamp.strftime("%Y-%m-%dT%H:%M:%S.") + f"{stamp.microsecond:06d}Z"
 
 
 def _iso_to_epoch(text: str) -> float:
-    import datetime as _dt
-
-    text = text.replace("Z", "+00:00")
-    return _dt.datetime.fromisoformat(text).timestamp()
+    stamp = _dt.datetime.fromisoformat(text.replace("Z", "+00:00"))
+    if stamp.tzinfo is None:
+        # Timezone-naive stamps (some exporters omit the offset) are
+        # UTC per the capture hosts' convention; interpreting them in
+        # local time skewed timestamps by the machine's UTC offset.
+        stamp = stamp.replace(tzinfo=_dt.timezone.utc)
+    return stamp.timestamp()
 
 
 def _request_to_json(request: HttpRequest) -> dict:

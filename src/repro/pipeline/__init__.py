@@ -5,12 +5,19 @@
 * :mod:`repro.pipeline.dataset` — the Table 1 dataset summary;
 * :mod:`repro.pipeline.engine` — the parallel sharded engine running
   steps 1–3 per service (sequential or process-pool executors);
+* :mod:`repro.pipeline.replay` — artifact replay: scan a captured
+  HAR/PCAP corpus on disk and feed it through the same engine;
 * :mod:`repro.pipeline.diffaudit` — the full audit run: flows,
   classification, destination analysis, differential audit,
   linkability (steps 3–5).
 """
 
-from repro.pipeline.corpus import CorpusProcessor, ParsedTrace
+from repro.pipeline.corpus import (
+    CorpusProcessor,
+    ParsedTrace,
+    parsed_trace_from_har,
+    parsed_trace_from_mobile,
+)
 from repro.pipeline.dataset import DatasetSummary, ServiceDatasetStats
 from repro.pipeline.diffaudit import DiffAudit, DiffAuditResult
 from repro.pipeline.engine import (
@@ -21,12 +28,26 @@ from repro.pipeline.engine import (
     ShardResult,
     ShardTask,
     executor_for,
+    generate_corpus_artifacts,
     process_shard,
+)
+from repro.pipeline.replay import (
+    ReplayCorpus,
+    ReplayError,
+    ReplayProvenance,
+    TraceUnit,
+    load_parsed_trace,
+    merge_manifest_traces,
+    read_manifest,
+    replay_config,
+    write_manifest,
 )
 
 __all__ = [
     "CorpusProcessor",
     "ParsedTrace",
+    "parsed_trace_from_har",
+    "parsed_trace_from_mobile",
     "DatasetSummary",
     "ServiceDatasetStats",
     "DiffAudit",
@@ -38,5 +59,15 @@ __all__ = [
     "ShardResult",
     "ShardTask",
     "executor_for",
+    "generate_corpus_artifacts",
     "process_shard",
+    "ReplayCorpus",
+    "ReplayError",
+    "ReplayProvenance",
+    "TraceUnit",
+    "load_parsed_trace",
+    "merge_manifest_traces",
+    "read_manifest",
+    "replay_config",
+    "write_manifest",
 ]

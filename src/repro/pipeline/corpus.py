@@ -19,7 +19,7 @@ from repro.capture.devtools import DevToolsCapture
 from repro.capture.pcapdroid import PcapdroidCapture
 from repro.capture.proxyman import ProxymanCapture
 from repro.model import Platform
-from repro.net.har import har_from_json, har_to_json, write_har
+from repro.net.har import Har, har_from_json, har_to_json, write_har
 from repro.net.http import HttpRequest
 from repro.services.generator import CorpusConfig, RawTrace, TrafficGenerator
 
@@ -39,6 +39,42 @@ class ParsedTrace:
         hosts = {request.url.host for request in self.requests}
         hosts.update(host for host in self.opaque_hosts if host)
         return hosts
+
+
+def parsed_trace_from_har(meta: TraceMeta, har: Har) -> ParsedTrace:
+    """Interpret a parsed HAR document as one trace unit.
+
+    Shared by the in-memory round trip and the artifact replay path,
+    so both count packets (HAR entries) and TCP flows (distinct
+    ``connection`` ids) identically.
+    """
+    connections = {entry.connection for entry in har.entries if entry.connection}
+    return ParsedTrace(
+        meta=meta,
+        requests=har.outgoing_requests(),
+        packet_count=len(har.entries),
+        flow_count=len(connections),
+    )
+
+
+def parsed_trace_from_mobile(
+    meta: TraceMeta, pcap_bytes: bytes, keylog_text: str
+) -> ParsedTrace:
+    """Decrypt and parse a PCAP + key-log pair into one trace unit.
+
+    Shared by the in-memory round trip and the artifact replay path.
+    An empty key log is valid: every TLS flow then surfaces as an
+    opaque contact, the way fully pinned traffic does.
+    """
+    decryption = decrypt_mobile_artifact(pcap_bytes, keylog_text)
+    return ParsedTrace(
+        meta=meta,
+        requests=[item.request for item in decryption.requests],
+        opaque_hosts=[contact.host for contact in decryption.opaque],
+        packet_count=decryption.packet_count,
+        flow_count=decryption.flow_count,
+        undecryptable_flows=decryption.undecryptable_flows,
+    )
 
 
 @dataclass
@@ -74,13 +110,7 @@ class CorpusProcessor:
         # Round-trip through HAR JSON: the analysis side reads the
         # serialized form, never the in-memory capture objects.
         har = har_from_json(har_to_json(artifact.har))
-        connections = {entry.connection for entry in har.entries if entry.connection}
-        return ParsedTrace(
-            meta=artifact.meta,
-            requests=har.outgoing_requests(),
-            packet_count=len(har.entries),
-            flow_count=len(connections),
-        )
+        return parsed_trace_from_har(artifact.meta, har)
 
     def _process_mobile(self, trace: RawTrace) -> ParsedTrace:
         artifact = self._pcapdroid.capture(trace)
@@ -89,15 +119,7 @@ class CorpusProcessor:
         if self.artifacts_dir is not None:
             (self.artifacts_dir / f"{artifact.meta.name}.pcap").write_bytes(pcap_bytes)
             (self.artifacts_dir / f"{artifact.meta.name}.keylog").write_text(keylog_text)
-        decryption = decrypt_mobile_artifact(pcap_bytes, keylog_text)
-        return ParsedTrace(
-            meta=artifact.meta,
-            requests=[item.request for item in decryption.requests],
-            opaque_hosts=[contact.host for contact in decryption.opaque],
-            packet_count=decryption.packet_count,
-            flow_count=decryption.flow_count,
-            undecryptable_flows=decryption.undecryptable_flows,
-        )
+        return parsed_trace_from_mobile(artifact.meta, pcap_bytes, keylog_text)
 
     def process_trace(self, trace: RawTrace) -> ParsedTrace:
         if trace.platform is Platform.MOBILE:

@@ -41,6 +41,7 @@ from repro.model import TraceColumn
 from repro.ontology.nodes import Level3
 from repro.pipeline.dataset import DatasetSummary
 from repro.pipeline.engine import AuditEngine, default_classifier, labeler_for
+from repro.pipeline.replay import ReplayCorpus
 from repro.services.generator import CorpusConfig
 
 
@@ -77,6 +78,12 @@ class DiffAudit:
     entity_db: EntityDatabase | None = None
     blocklists: BlockListCollection | None = None
     artifacts_dir: Path | None = None
+    # Replay a captured/archived artifacts directory instead of
+    # generating traffic in-memory (``audit --from-artifacts DIR``):
+    # a directory path, or an already-scanned ReplayCorpus so callers
+    # that scanned the directory themselves (e.g. for config
+    # resolution) don't pay, or race, a second scan.
+    replay: ReplayCorpus | Path | str | None = None
     jobs: int = 1  # shard workers; 1 = sequential in-process
 
     def __post_init__(self) -> None:
@@ -100,6 +107,7 @@ class DiffAudit:
             entity_db=self.entity_db,
             blocklists=self.blocklists,
             artifacts_dir=self.artifacts_dir,
+            replay=self.replay,
             jobs=self.jobs,
         )
 

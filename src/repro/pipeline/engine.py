@@ -27,7 +27,7 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Protocol
+from typing import Callable, Iterable, Protocol
 
 from repro.datatypes.base import Classifier
 from repro.datatypes.cache import CachingClassifier
@@ -37,8 +37,18 @@ from repro.destinations.entities import EntityDatabase
 from repro.destinations.party import DestinationLabeler
 from repro.flows.builder import FlowBuilder
 from repro.flows.dataflow import FlowTable
-from repro.pipeline.corpus import CorpusProcessor
+from repro.pipeline.corpus import CorpusProcessor, ParsedTrace
 from repro.pipeline.dataset import DatasetSummary
+from repro.pipeline.replay import (
+    ReplayCorpus,
+    ReplayError,
+    TraceUnit,
+    load_parsed_trace,
+    merge_manifest_traces,
+    read_manifest,
+    trace_record,
+    write_manifest,
+)
 from repro.services.catalog import ServiceSpec
 from repro.services.generator import CorpusConfig
 
@@ -50,6 +60,10 @@ class ShardTask:
     The task is self-contained and picklable: a worker process
     reconstructs the processor, labeler and flow builder from it
     without sharing any state with the parent.
+
+    With ``replay_units`` set, the shard's traces come from artifact
+    files on disk instead of the in-memory generate → capture → parse
+    loop; everything downstream of trace parsing is identical.
     """
 
     service: str
@@ -59,6 +73,7 @@ class ShardTask:
     entity_db: EntityDatabase
     blocklists: BlockListCollection
     artifacts_dir: Path | None = None
+    replay_units: tuple[TraceUnit, ...] | None = None
 
 
 @dataclass
@@ -98,9 +113,17 @@ def labeler_for(
     )
 
 
+def shard_trace_source(task: ShardTask) -> "Iterable[ParsedTrace]":
+    """Where a shard's parsed traces come from: replayed artifact
+    files when the task carries replay units, the in-memory generate →
+    capture → parse loop otherwise.  Both stream one trace at a time."""
+    if task.replay_units is not None:
+        return (load_parsed_trace(unit) for unit in task.replay_units)
+    return CorpusProcessor(config=task.config, artifacts_dir=task.artifacts_dir)
+
+
 def process_shard(task: ShardTask) -> ShardResult:
     """Run capture → parse → classify → flow-build for one service."""
-    processor = CorpusProcessor(config=task.config, artifacts_dir=task.artifacts_dir)
     (spec,) = [s for s in task.config.service_specs() if s.key == task.service]
     labeler = labeler_for(spec, task.entity_db, task.blocklists)
     # A task may arrive with an already-cached classifier (the
@@ -119,7 +142,7 @@ def process_shard(task: ShardTask) -> ShardResult:
     raw_keys: set[str] = set()
     trace_count = 0
 
-    for parsed in processor:
+    for parsed in shard_trace_source(task):
         trace_count += 1
         dataset.add_trace(parsed)
         contacted.update(parsed.contacted_hosts())
@@ -163,28 +186,49 @@ def process_shard(task: ShardTask) -> ShardResult:
     )
 
 
-def _generate_shard(shard: tuple[CorpusConfig, Path | None]) -> int:
-    """Generate + capture one service's artifacts, skipping analysis."""
+def _generate_shard(shard: tuple[CorpusConfig, Path | None]) -> list[dict]:
+    """Generate + capture one service's artifacts, skipping analysis.
+
+    Returns one manifest record per trace, in generation order."""
     config, artifacts_dir = shard
     processor = CorpusProcessor(config=config, artifacts_dir=artifacts_dir)
-    return sum(1 for _ in processor)
+    return [trace_record(parsed.meta) for parsed in processor]
 
 
 def generate_corpus_artifacts(
     config: CorpusConfig, artifacts_dir: Path | None, jobs: int = 1
 ) -> int:
-    """Write every trace artifact to disk; returns the trace count.
+    """Write every trace artifact plus a manifest; returns the trace count.
 
     The generate-only sibling of :meth:`AuditEngine.run`: shards the
     same way but stops after capture — no classification, labeling or
     flow building — since ``python -m repro generate`` discards those.
+    ``manifest.json`` records the corpus config and per-trace metadata
+    in generation order, so ``audit --from-artifacts`` can replay the
+    directory without re-deriving anything from filenames.
     """
     executor = executor_for(jobs)
+    existing = read_manifest(artifacts_dir) if artifacts_dir is not None else None
+    if existing is not None:
+        # Fail fast on mismatched corpus knobs before writing anything.
+        merge_manifest_traces(existing, config, [])
     shards = [
         (config.for_service(spec.key), artifacts_dir)
         for spec in config.service_specs()
     ]
-    return sum(executor.map_shards(shards, work=_generate_shard))
+    records = [
+        record
+        for shard_records in executor.map_shards(shards, work=_generate_shard)
+        for record in shard_records
+    ]
+    generated = len(records)
+    if artifacts_dir is not None:
+        if existing is not None:
+            # Incremental generation into an existing corpus directory:
+            # keep the other services' traces instead of clobbering them.
+            records = merge_manifest_traces(existing, config, records)
+        write_manifest(artifacts_dir, config, records)
+    return generated
 
 
 # ----------------------------------------------------------------------
@@ -270,6 +314,11 @@ class AuditEngine:
     entity_db: EntityDatabase | None = None
     blocklists: BlockListCollection | None = None
     artifacts_dir: Path | None = None
+    # Audit artifacts from disk instead of generating in-memory: a
+    # directory path (scanned once here) or an already-scanned
+    # ReplayCorpus (no rescan — pass this when the caller scanned the
+    # directory itself, e.g. for config resolution).
+    replay: "ReplayCorpus | Path | str | None" = None
     jobs: int = 1
 
     def __post_init__(self) -> None:
@@ -285,7 +334,38 @@ class AuditEngine:
             self.blocklists = default_blocklists()
 
     def shard_tasks(self) -> list[ShardTask]:
-        """One task per configured service, in service-spec order."""
+        """One task per configured service, in service-spec order.
+
+        In replay mode each task carries its service's trace units
+        (replay shards by service exactly like generation does), and a
+        configured service with no artifacts on disk is an error — a
+        silently empty audit would read as a compliant service.
+        """
+        replay_units: dict[str, tuple[TraceUnit, ...]] = {}
+        corpus = self.replay
+        if corpus is not None and not isinstance(corpus, ReplayCorpus):
+            corpus = ReplayCorpus.scan(corpus)
+        if corpus is not None:
+            # service_specs() silently filters against the catalog, so
+            # a corpus of uncatalogued services would otherwise shard
+            # to nothing and exit 0 as a spotless "audit".
+            known = {spec.key for spec in self.config.service_specs()}
+            unknown = sorted(set(self.config.services or ()) - known)
+            if unknown:
+                raise ReplayError(
+                    f"service(s) {', '.join(unknown)} are not in the service "
+                    "catalog; only catalog services can be audited"
+                )
+            replay_units = {
+                spec.key: tuple(corpus.units_for(spec.key))
+                for spec in self.config.service_specs()
+            }
+            missing = sorted(key for key, units in replay_units.items() if not units)
+            if missing:
+                raise ReplayError(
+                    f"no artifacts for configured service(s) {', '.join(missing)} "
+                    f"in {corpus.directory} (found: {', '.join(corpus.services())})"
+                )
         return [
             ShardTask(
                 service=spec.key,
@@ -295,6 +375,7 @@ class AuditEngine:
                 entity_db=self.entity_db,
                 blocklists=self.blocklists,
                 artifacts_dir=self.artifacts_dir,
+                replay_units=replay_units.get(spec.key),
             )
             for spec in self.config.service_specs()
         ]

@@ -10,10 +10,14 @@ from __future__ import annotations
 import csv
 import io
 import json
+from typing import TYPE_CHECKING
 
 from repro.flows.dataflow import FlowTable
 from repro.model import ALL_COLUMNS
 from repro.pipeline.diffaudit import DiffAuditResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.replay import ReplayProvenance
 
 FLOW_FIELDS = (
     "service",
@@ -79,8 +83,16 @@ def findings_to_csv(result: DiffAuditResult) -> str:
     return buffer.getvalue()
 
 
-def result_to_json(result: DiffAuditResult) -> str:
-    """The full result as one JSON document (summary granularity)."""
+def result_to_json(
+    result: DiffAuditResult, provenance: "ReplayProvenance | None" = None
+) -> str:
+    """The full result as one JSON document (summary granularity).
+
+    ``provenance`` (from :meth:`repro.pipeline.replay.ReplayCorpus.provenance`)
+    records where replayed input came from.  It is opt-in — default
+    output is byte-identical between an in-memory audit and a replay
+    of the same corpus, which is the pipeline's parity guarantee.
+    """
     document = {
         "config": {
             "seed": result.config.seed,
@@ -150,4 +162,6 @@ def result_to_json(result: DiffAuditResult) -> str:
         "unique_data_types": result.unique_data_types,
         "unique_flows": len(result.flows.unique_flows()),
     }
+    if provenance is not None:
+        document["provenance"] = provenance.to_json_dict()
     return json.dumps(document, indent=2)

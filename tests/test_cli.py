@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _SERVICES, build_parser, main
 
 
 class TestParser:
@@ -17,12 +17,19 @@ class TestParser:
             build_parser().parse_args(["audit", "--services", "myspace"])
 
     def test_defaults(self):
+        # Parser defaults are None ("not specified") so replay can fill
+        # omitted flags from a manifest; _config resolves the effective
+        # defaults for in-memory runs.
+        from repro.cli import _config
+
         args = build_parser().parse_args(["audit"])
-        assert args.scale == 0.02
-        assert args.seed == 2023
         assert args.services is None
         assert args.jobs == 1
-        assert args.profile == "standard"
+        config = _config(args)
+        assert config.scale == 0.02
+        assert config.seed == 2023
+        assert config.services is None
+        assert config.profile == "standard"
 
     def test_jobs_flag(self):
         args = build_parser().parse_args(["audit", "--jobs", "4"])
@@ -48,6 +55,22 @@ class TestParser:
         assert args.jobs == 2
         assert args.profile == "light"
 
+    def test_services_choices_derive_from_catalog(self):
+        # The CLI must accept exactly the catalog's services — a
+        # hardcoded copy drifted once; this pins the derivation.
+        from repro.services.catalog import SERVICES
+
+        assert _SERVICES == tuple(spec.key for spec in SERVICES())
+        for key in _SERVICES:
+            args = build_parser().parse_args(["audit", "--services", key])
+            assert args.services == [key]
+
+    def test_audit_and_report_accept_from_artifacts(self):
+        args = build_parser().parse_args(["audit", "--from-artifacts", "d"])
+        assert args.from_artifacts == "d"
+        args = build_parser().parse_args(["report", "table5", "--from-artifacts", "d"])
+        assert args.from_artifacts == "d"
+
 
 class TestClassifyCommand:
     def test_classify_keys(self, capsys):
@@ -60,6 +83,26 @@ class TestClassifyCommand:
         main(["classify", "email"])
         line = capsys.readouterr().out.strip()
         assert line.count(" // ") == 3
+
+    def test_no_keys_on_a_tty_prints_hint_instead_of_hanging(
+        self, capsys, monkeypatch
+    ):
+        import sys as _sys
+
+        monkeypatch.setattr(_sys.stdin, "isatty", lambda: True, raising=False)
+        assert main(["classify"]) == 2
+        err = capsys.readouterr().err
+        assert "stdin is a terminal" in err
+
+    def test_piped_stdin_still_reads_keys(self, capsys, monkeypatch):
+        import io
+        import sys as _sys
+
+        stdin = io.StringIO("email\n\nage\n")
+        stdin.isatty = lambda: False
+        monkeypatch.setattr(_sys, "stdin", stdin)
+        assert main(["classify"]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 2
 
 
 class TestAuditCommand:
@@ -99,6 +142,116 @@ class TestAuditCommand:
         )
         assert (tmp_path / "flows.csv").exists()
         assert (tmp_path / "findings.csv").exists()
+
+    def test_json_path_without_json_flag_errors_early(self, capsys):
+        assert main(["audit", "--output", "results.json"]) == 2
+        err = capsys.readouterr().err
+        assert "--json" in err and "directory" in err
+
+    def test_json_flag_with_directory_output_errors_early(self, tmp_path, capsys):
+        assert main(["audit", "--json", "--output", str(tmp_path)]) == 2
+        assert "existing directory" in capsys.readouterr().err
+
+    def test_json_output_into_missing_directory_errors_early(self, tmp_path, capsys):
+        target = tmp_path / "missing" / "results.json"
+        assert main(["audit", "--json", "--output", str(target)]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_csv_output_to_existing_file_errors_early(self, tmp_path, capsys):
+        target = tmp_path / "occupied"
+        target.write_text("x")
+        assert main(["audit", "--output", str(target)]) == 2
+        assert "existing file" in capsys.readouterr().err
+
+    def test_with_provenance_requires_replay_and_json(self, capsys):
+        assert main(["audit", "--with-provenance"]) == 2
+        assert "--with-provenance" in capsys.readouterr().err
+
+
+class TestReplayCommands:
+    def test_generate_then_replay_is_byte_identical(self, tmp_path, capsys):
+        base = ["--services", "youtube", "--scale", "0.003", "--seed", "7"]
+        main(["generate", *base, "--output", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["audit", *base, "--json"]) == 0
+        direct = capsys.readouterr().out
+        # Corpus flags intentionally omitted: the manifest supplies them.
+        assert main(["audit", "--from-artifacts", str(tmp_path), "--json"]) == 0
+        assert capsys.readouterr().out == direct
+
+    def test_replay_with_provenance(self, tmp_path, capsys):
+        main(
+            [
+                "generate",
+                "--services",
+                "youtube",
+                "--scale",
+                "0.003",
+                "--output",
+                str(tmp_path),
+            ]
+        )
+        capsys.readouterr()
+        main(["audit", "--from-artifacts", str(tmp_path), "--json", "--with-provenance"])
+        document = json.loads(capsys.readouterr().out)
+        assert document["provenance"]["source"] == "artifacts"
+        assert document["provenance"]["manifest"] is True
+        assert document["provenance"]["services"] == ["youtube"]
+
+    def test_explicit_flag_beats_manifest(self, tmp_path, capsys):
+        main(
+            [
+                "generate",
+                "--services",
+                "youtube",
+                "--scale",
+                "0.003",
+                "--seed",
+                "7",
+                "--output",
+                str(tmp_path),
+            ]
+        )
+        capsys.readouterr()
+        # Explicitly typing the default seed must override manifest seed 7.
+        main(
+            ["audit", "--from-artifacts", str(tmp_path), "--seed", "2023", "--json"]
+        )
+        captured = capsys.readouterr()
+        document = json.loads(captured.out)
+        assert document["config"]["seed"] == 2023
+        # ...with a warning that only the reported config changes.
+        assert "overrides the corpus manifest" in captured.err
+
+    def test_replay_missing_directory_errors(self, tmp_path, capsys):
+        assert main(["audit", "--from-artifacts", str(tmp_path / "nope")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_replay_missing_service_errors(self, tmp_path, capsys):
+        main(
+            [
+                "generate",
+                "--services",
+                "youtube",
+                "--scale",
+                "0.003",
+                "--output",
+                str(tmp_path),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            ["audit", "--from-artifacts", str(tmp_path), "--services", "tiktok"]
+        )
+        assert code == 2
+        assert "no artifacts for configured" in capsys.readouterr().err
+
+    def test_report_from_artifacts(self, tmp_path, capsys):
+        base = ["--services", "youtube", "--scale", "0.003", "--seed", "7"]
+        main(["generate", *base, "--output", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["report", "table1", "--from-artifacts", str(tmp_path)]) == 0
+        assert "youtube" in capsys.readouterr().out
 
 
 class TestGenerateCommand:

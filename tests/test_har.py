@@ -3,11 +3,14 @@
 import json
 
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.net.har import (
     Har,
     HarEntry,
     HarError,
+    _epoch_to_iso,
+    _iso_to_epoch,
     har_from_json,
     har_to_json,
     read_har,
@@ -87,6 +90,92 @@ class TestRoundTrip:
 
     def test_outgoing_requests(self):
         assert len(make_har().outgoing_requests()) == 1
+
+
+class TestTimestamps:
+    """Round-trip fidelity of the ISO 8601 conversion the replay path
+    depends on: sub-millisecond drift or timezone skew would break the
+    generate → replay parity guarantee on archived artifacts."""
+
+    def test_microsecond_precision_survives(self):
+        epoch = 1_697_364_000.123456
+        assert abs(_iso_to_epoch(_epoch_to_iso(epoch)) - epoch) < 1e-6
+
+    def test_naive_timestamp_is_utc(self):
+        # Some exporters omit the offset; interpreting those stamps in
+        # local time skewed epochs by the machine's UTC offset.
+        assert _iso_to_epoch("2023-10-15T10:00:00.000000") == _iso_to_epoch(
+            "2023-10-15T10:00:00.000000Z"
+        )
+
+    def test_explicit_offset_respected(self):
+        assert _iso_to_epoch("2023-10-15T03:00:00.000000-07:00") == _iso_to_epoch(
+            "2023-10-15T10:00:00.000000Z"
+        )
+
+    @given(st.floats(min_value=0, max_value=2**31, allow_nan=False))
+    def test_round_trip_within_microsecond(self, epoch):
+        assert abs(_iso_to_epoch(_epoch_to_iso(epoch)) - epoch) < 1e-6
+
+    @given(st.floats(min_value=0, max_value=2**31, allow_nan=False))
+    def test_round_trip_idempotent(self, epoch):
+        # One pass quantizes to microseconds; after that, the
+        # conversion must be a fixed point — this is what makes
+        # replaying an already-archived HAR byte-stable.
+        once = _iso_to_epoch(_epoch_to_iso(epoch))
+        assert _iso_to_epoch(_epoch_to_iso(once)) == once
+
+
+_METHODS = st.sampled_from(["GET", "POST", "PUT", "DELETE"])
+_HEADER_NAMES = st.sampled_from(
+    ["User-Agent", "Accept", "X-Custom", "Content-Language"]
+)
+_HEADER_VALUES = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126), min_size=1, max_size=20
+)
+
+
+class TestReplayFieldFidelity:
+    """Property tests: har_from_json(har_to_json(h)) preserves every
+    field the replay path consumes."""
+
+    @given(
+        method=_METHODS,
+        headers=st.lists(st.tuples(_HEADER_NAMES, _HEADER_VALUES), max_size=4),
+        body=st.binary(max_size=64),
+        connection=st.sampled_from(["", "100001", "conn-9"]),
+        started=st.floats(min_value=1e9, max_value=2e9, allow_nan=False),
+    )
+    def test_request_fields_preserved(self, method, headers, body, connection, started):
+        started = _iso_to_epoch(_epoch_to_iso(started))  # microsecond-aligned
+        request = HttpRequest(
+            method=method,
+            url=parse_url("https://api.example.com/v1/events?k=v"),
+            headers=[Header(n, v) for n, v in headers],
+            body=body,
+            timestamp=started,
+        )
+        har = Har()
+        har.entries.append(
+            HarEntry(request=request, started=started, connection=connection)
+        )
+        parsed = har_from_json(har_to_json(har))
+        assert len(parsed.entries) == 1
+        entry = parsed.entries[0]
+        assert entry.request.method == method
+        assert str(entry.request.url) == str(request.url)
+        assert entry.request.headers == request.headers
+        assert entry.request.body == body
+        assert entry.request.http_version == request.http_version
+        assert entry.request.timestamp == started
+        assert entry.started == started
+        assert entry.connection == connection
+
+    def test_serialized_form_is_a_fixed_point(self):
+        # to_json ∘ from_json must be the identity on our own output:
+        # replaying a written artifact re-serializes identically.
+        doc = har_to_json(make_har())
+        assert har_to_json(har_from_json(doc)) == doc
 
 
 class TestErrors:

@@ -1,0 +1,414 @@
+"""Tests for the artifact replay pipeline (pipeline/replay.py).
+
+The heart of the matter is the parity guarantee: ``generate`` then
+``audit --from-artifacts`` must produce the same DiffAuditResult —
+byte-identical JSON — as a direct in-memory audit of the same config,
+sequentially and across worker processes.
+"""
+
+import json
+import shutil
+
+import pytest
+
+from repro import CorpusConfig, DiffAudit
+from repro.capture.base import TraceMeta
+from repro.model import AgeGroup, Platform, TraceKind
+from repro.pipeline.engine import generate_corpus_artifacts
+from repro.pipeline.replay import (
+    MANIFEST_NAME,
+    ReplayCorpus,
+    ReplayError,
+    TraceUnit,
+    load_parsed_trace,
+    meta_from_name,
+    read_manifest,
+    replay_config,
+)
+from repro.reporting.export import flows_to_csv, result_to_json
+
+CONFIG = CorpusConfig(scale=0.003, seed=7, services=("youtube",))
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("artifacts")
+    count = generate_corpus_artifacts(CONFIG, directory)
+    return directory, count
+
+
+@pytest.fixture(scope="module")
+def direct_result():
+    return DiffAudit(CONFIG).run()
+
+
+@pytest.fixture(scope="module")
+def replayed_result(artifacts):
+    directory, _ = artifacts
+    return DiffAudit(CONFIG, replay=directory).run()
+
+
+class TestManifest:
+    def test_generate_writes_manifest(self, artifacts):
+        directory, count = artifacts
+        manifest = read_manifest(directory)
+        assert manifest is not None
+        assert manifest["version"] == 1
+        assert manifest["config"] == {
+            "seed": 7,
+            "scale": 0.003,
+            "profile": "standard",
+            "services": ["youtube"],
+        }
+        assert len(manifest["traces"]) == count
+
+    def test_every_manifest_trace_has_files(self, artifacts):
+        directory, _ = artifacts
+        for record in read_manifest(directory)["traces"]:
+            har = directory / f"{record['name']}.har"
+            pcap = directory / f"{record['name']}.pcap"
+            assert har.exists() or pcap.exists()
+            if record["platform"] == "mobile":
+                assert pcap.exists()
+                assert (directory / f"{record['name']}.keylog").exists()
+            else:
+                assert har.exists()
+
+    def test_read_manifest_absent(self, tmp_path):
+        assert read_manifest(tmp_path) is None
+
+    def test_read_manifest_malformed(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(ReplayError, match="unreadable"):
+            read_manifest(tmp_path)
+
+    def test_read_manifest_wrong_shape(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text('{"foo": 1}')
+        with pytest.raises(ReplayError, match="not a replay manifest"):
+            read_manifest(tmp_path)
+
+    def test_incremental_generate_merges_manifest(self, tmp_path):
+        generate_corpus_artifacts(
+            CorpusConfig(scale=0.003, seed=7, services=("youtube",)), tmp_path
+        )
+        added = generate_corpus_artifacts(
+            CorpusConfig(scale=0.003, seed=7, services=("tiktok",)), tmp_path
+        )
+        manifest = read_manifest(tmp_path)
+        assert manifest["config"]["services"] == ["youtube", "tiktok"]
+        services = {record["service"] for record in manifest["traces"]}
+        assert services == {"youtube", "tiktok"}
+        assert added == sum(
+            1 for record in manifest["traces"] if record["service"] == "tiktok"
+        )
+
+    def test_regenerate_same_service_replaces_records(self, tmp_path):
+        config = CorpusConfig(scale=0.003, seed=7, services=("youtube",))
+        first = generate_corpus_artifacts(config, tmp_path)
+        second = generate_corpus_artifacts(config, tmp_path)
+        assert first == second
+        assert len(read_manifest(tmp_path)["traces"]) == first
+
+    def test_incremental_generate_rejects_mismatched_knobs(self, tmp_path):
+        generate_corpus_artifacts(
+            CorpusConfig(scale=0.003, seed=7, services=("youtube",)), tmp_path
+        )
+        with pytest.raises(ReplayError, match="fresh --output"):
+            generate_corpus_artifacts(
+                CorpusConfig(scale=0.003, seed=8, services=("tiktok",)), tmp_path
+            )
+        # The mismatch fails fast: no tiktok artifacts were written.
+        assert not list(tmp_path.glob("tiktok*"))
+
+    def test_read_manifest_unsupported_version(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text('{"version": 2, "traces": []}')
+        with pytest.raises(ReplayError, match="unsupported manifest version 2"):
+            read_manifest(tmp_path)
+
+
+class TestScan:
+    def test_scan_with_manifest(self, artifacts):
+        directory, count = artifacts
+        corpus = ReplayCorpus.scan(directory)
+        assert corpus.manifest is not None
+        assert len(corpus.units) == count
+        assert corpus.services() == ["youtube"]
+        assert len(corpus.units_for("youtube")) == count
+        assert corpus.units_for("tiktok") == []
+
+    def test_scan_without_manifest_parses_stems(self, artifacts, tmp_path):
+        directory, count = artifacts
+        clone = tmp_path / "raw"
+        shutil.copytree(directory, clone)
+        (clone / MANIFEST_NAME).unlink()
+        corpus = ReplayCorpus.scan(clone)
+        assert corpus.manifest is None
+        assert len(corpus.units) == count
+        assert {unit.meta.service for unit in corpus.units} == {"youtube"}
+        names = [unit.meta.name for unit in corpus.units]
+        assert names == sorted(names)
+
+    def test_duplicate_stem_yields_one_unit(self, artifacts, tmp_path):
+        # A stem present as both .har and .pcap (possible in external
+        # corpora) must not double-count the trace; the HAR wins.
+        directory, _ = artifacts
+        clone = tmp_path / "raw"
+        shutil.copytree(directory, clone)
+        (clone / MANIFEST_NAME).unlink()
+        har_stem = next(p.stem for p in sorted(clone.iterdir()) if p.suffix == ".har")
+        (clone / f"{har_stem}.pcap").write_bytes(b"")
+        corpus = ReplayCorpus.scan(clone)
+        matching = [u for u in corpus.units if u.meta.name == har_stem]
+        assert len(matching) == 1
+        assert matching[0].har is not None
+
+    def test_scan_missing_directory(self, tmp_path):
+        with pytest.raises(ReplayError, match="does not exist"):
+            ReplayCorpus.scan(tmp_path / "nope")
+
+    def test_scan_empty_directory(self, tmp_path):
+        with pytest.raises(ReplayError, match="no .har or .pcap"):
+            ReplayCorpus.scan(tmp_path)
+
+    def test_manifest_record_without_files(self, artifacts, tmp_path):
+        directory, _ = artifacts
+        clone = tmp_path / "broken"
+        clone.mkdir()
+        shutil.copy(directory / MANIFEST_NAME, clone / MANIFEST_NAME)
+        with pytest.raises(ReplayError, match="neither"):
+            ReplayCorpus.scan(clone)
+
+    def test_provenance(self, artifacts):
+        directory, count = artifacts
+        provenance = ReplayCorpus.scan(directory).provenance()
+        assert provenance.traces == count
+        assert provenance.har_traces + provenance.pcap_traces == count
+        assert provenance.manifest is True
+        document = provenance.to_json_dict()
+        assert document["source"] == "artifacts"
+        assert document["services"] == ["youtube"]
+
+
+class TestMetaFromName:
+    def test_round_trip_via_name(self):
+        meta = TraceMeta(
+            service="youtube",
+            platform=Platform.MOBILE,
+            kind=TraceKind.LOGGED_IN,
+            age=AgeGroup.CHILD,
+        )
+        assert meta_from_name(meta.name) == meta
+
+    def test_logged_out_has_no_age(self):
+        meta = meta_from_name("tiktok-web-logged_out-none")
+        assert meta.age is None
+        assert meta.kind is TraceKind.LOGGED_OUT
+
+    def test_hyphenated_service_survives(self):
+        meta = meta_from_name("my-cool-app-web-logged_in-adult")
+        assert meta.service == "my-cool-app"
+        assert meta.platform is Platform.WEB
+
+    def test_too_few_parts_rejected(self):
+        with pytest.raises(ReplayError, match="cannot derive"):
+            meta_from_name("junk")
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ReplayError, match="cannot derive"):
+            meta_from_name("youtube-vr-logged_in-adult")
+
+
+class TestTraceUnit:
+    META = TraceMeta(
+        service="youtube",
+        platform=Platform.WEB,
+        kind=TraceKind.LOGGED_OUT,
+        age=None,
+    )
+
+    def test_needs_exactly_one_artifact(self, tmp_path):
+        with pytest.raises(ReplayError, match="exactly one"):
+            TraceUnit(meta=self.META)
+        with pytest.raises(ReplayError, match="exactly one"):
+            TraceUnit(meta=self.META, har=tmp_path / "a.har", pcap=tmp_path / "a.pcap")
+
+    def test_load_har_unit(self, artifacts):
+        directory, _ = artifacts
+        corpus = ReplayCorpus.scan(directory)
+        unit = next(unit for unit in corpus.units if unit.har is not None)
+        parsed = load_parsed_trace(unit)
+        assert parsed.meta == unit.meta
+        assert parsed.requests
+        assert parsed.packet_count == len(parsed.requests)
+
+    def test_load_pcap_unit(self, artifacts):
+        directory, _ = artifacts
+        corpus = ReplayCorpus.scan(directory)
+        unit = next(unit for unit in corpus.units if unit.pcap is not None)
+        parsed = load_parsed_trace(unit)
+        assert parsed.meta == unit.meta
+        assert parsed.requests
+        assert parsed.flow_count > 0
+
+    def test_pcap_without_keylog_is_all_opaque(self, artifacts):
+        directory, _ = artifacts
+        corpus = ReplayCorpus.scan(directory)
+        unit = next(unit for unit in corpus.units if unit.pcap is not None)
+        blind = TraceUnit(meta=unit.meta, pcap=unit.pcap, keylog=None)
+        parsed = load_parsed_trace(blind)
+        assert parsed.requests == []
+        assert parsed.undecryptable_flows == parsed.flow_count
+        assert parsed.opaque_hosts  # destinations still counted (SNI)
+
+
+class TestParity:
+    """generate → replay ≡ in-memory, the tentpole guarantee."""
+
+    def test_json_byte_identical(self, direct_result, replayed_result):
+        assert result_to_json(direct_result) == result_to_json(replayed_result)
+
+    def test_flows_csv_identical(self, direct_result, replayed_result):
+        assert flows_to_csv(direct_result.flows) == flows_to_csv(
+            replayed_result.flows
+        )
+
+    def test_observations_identical_in_order(self, direct_result, replayed_result):
+        assert (
+            direct_result.flows.observations()
+            == replayed_result.flows.observations()
+        )
+
+    def test_parallel_replay_matches(self, artifacts, direct_result):
+        directory, _ = artifacts
+        parallel = DiffAudit(CONFIG, replay=directory, jobs=4).run()
+        assert result_to_json(parallel) == result_to_json(direct_result)
+
+    def test_replay_without_manifest_matches(self, artifacts, direct_result, tmp_path):
+        # Stem-parsed metadata must reconstruct the same corpus; with a
+        # single service the sorted-stem order feeds one shard, whose
+        # merged result is order-insensitive at the JSON granularity.
+        directory, _ = artifacts
+        clone = tmp_path / "raw"
+        shutil.copytree(directory, clone)
+        (clone / MANIFEST_NAME).unlink()
+        replayed = DiffAudit(CONFIG, replay=clone).run()
+        assert result_to_json(replayed) == result_to_json(direct_result)
+
+
+class TestReplayConfig:
+    def test_unspecified_fields_filled_from_manifest(self, artifacts):
+        directory, _ = artifacts
+        corpus = ReplayCorpus.scan(directory)
+        resolved = replay_config(corpus)
+        assert resolved.seed == 7
+        assert resolved.scale == 0.003
+        assert resolved.profile == "standard"
+        assert resolved.services == ("youtube",)
+
+    def test_explicit_values_win(self, artifacts):
+        directory, _ = artifacts
+        corpus = ReplayCorpus.scan(directory)
+        resolved = replay_config(
+            corpus, seed=99, scale=0.5, services=("youtube",)
+        )
+        assert resolved.seed == 99
+        assert resolved.scale == 0.5
+
+    def test_explicit_value_equal_to_default_still_wins(self, artifacts):
+        # Typing `--seed 2023` (the default) must not be mistaken for
+        # "unset" and silently replaced by the manifest's seed.
+        directory, _ = artifacts
+        corpus = ReplayCorpus.scan(directory)
+        fallback = CorpusConfig(seed=2023, scale=0.02)
+        resolved = replay_config(corpus, seed=2023, fallback=fallback)
+        assert resolved.seed == 2023
+        assert resolved.scale == 0.003  # unset → manifest
+
+    def test_fallback_used_when_no_manifest(self, artifacts, tmp_path):
+        directory, _ = artifacts
+        clone = tmp_path / "raw"
+        shutil.copytree(directory, clone)
+        (clone / MANIFEST_NAME).unlink()
+        corpus = ReplayCorpus.scan(clone)
+        fallback = CorpusConfig(seed=123, scale=0.04)
+        resolved = replay_config(corpus, fallback=fallback)
+        assert resolved.services == ("youtube",)  # from the scan
+        assert resolved.seed == 123
+        assert resolved.scale == 0.04
+
+
+class TestErrors:
+    def test_corrupt_har_raises_replay_error(self, artifacts, tmp_path):
+        directory, _ = artifacts
+        clone = tmp_path / "corrupt"
+        shutil.copytree(directory, clone)
+        har_path = next(p for p in sorted(clone.iterdir()) if p.suffix == ".har")
+        har_path.write_text("{truncated")
+        with pytest.raises(ReplayError, match="cannot replay trace"):
+            DiffAudit(CONFIG, replay=clone).run()
+
+    def test_corrupt_pcap_raises_replay_error(self, artifacts, tmp_path):
+        directory, _ = artifacts
+        clone = tmp_path / "corrupt"
+        shutil.copytree(directory, clone)
+        pcap_path = next(p for p in sorted(clone.iterdir()) if p.suffix == ".pcap")
+        pcap_path.write_bytes(b"\x00" * 64)
+        with pytest.raises(ReplayError, match="cannot replay trace"):
+            DiffAudit(CONFIG, replay=clone).run()
+
+    def test_corrupt_artifact_with_worker_pool(self, artifacts, tmp_path):
+        # The wrapped error must also survive a process-pool round
+        # trip (--jobs > 1) instead of surfacing as a raw traceback.
+        directory, _ = artifacts
+        clone = tmp_path / "corrupt"
+        shutil.copytree(directory, clone)
+        # Two services so the pool really runs (the incremental
+        # generate merges into the existing manifest); corrupt one
+        # youtube HAR.
+        generate_corpus_artifacts(
+            CorpusConfig(scale=0.003, seed=7, services=("tiktok",)), clone
+        )
+        har_path = next(
+            p
+            for p in sorted(clone.iterdir())
+            if p.name.startswith("youtube") and p.suffix == ".har"
+        )
+        har_path.write_text("{truncated")
+        config = CorpusConfig(scale=0.003, seed=7, services=("youtube", "tiktok"))
+        with pytest.raises(ReplayError, match="cannot replay trace"):
+            DiffAudit(config, replay=clone, jobs=2).run()
+
+    def test_uncatalogued_service_rejected(self, artifacts, tmp_path):
+        # An external corpus of services outside the catalog must fail
+        # loudly, not exit 0 with an empty "compliant" audit.
+        directory, _ = artifacts
+        foreign = tmp_path / "foreign"
+        foreign.mkdir()
+        source = next(p for p in sorted(directory.iterdir()) if p.suffix == ".har")
+        shutil.copy(source, foreign / "my-cool-app-web-logged_in-adult.har")
+        corpus = ReplayCorpus.scan(foreign)
+        config = replay_config(corpus)
+        assert config.services == ("my-cool-app",)
+        with pytest.raises(ReplayError, match="not in the service catalog"):
+            DiffAudit(config, replay=corpus).run()
+
+    def test_bad_manifest_profile_is_replay_error(self, artifacts, tmp_path):
+        directory, _ = artifacts
+        clone = tmp_path / "badprofile"
+        shutil.copytree(directory, clone)
+        manifest = json.loads((clone / MANIFEST_NAME).read_text())
+        manifest["config"]["profile"] = "turbo"
+        (clone / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(ReplayError, match="invalid corpus config"):
+            replay_config(ReplayCorpus.scan(clone))
+
+    def test_missing_configured_service(self, artifacts):
+        directory, _ = artifacts
+        config = CorpusConfig(scale=0.003, seed=7, services=("tiktok",))
+        with pytest.raises(ReplayError, match="no artifacts for configured"):
+            DiffAudit(config, replay=directory).run()
+
+    def test_provenance_json_round_trips(self, artifacts):
+        directory, _ = artifacts
+        document = ReplayCorpus.scan(directory).provenance().to_json_dict()
+        assert json.loads(json.dumps(document)) == document
