@@ -26,6 +26,7 @@ from repro.model import (
 )
 from repro.ontology import ONTOLOGY
 from repro.ontology.nodes import Level2, Level3
+from repro.datatypes.store import ClassificationStore, PersistentClassifier
 from repro.pipeline.diffaudit import DiffAudit, DiffAuditResult
 from repro.services.generator import CorpusConfig
 
@@ -44,5 +45,7 @@ __all__ = [
     "DiffAudit",
     "DiffAuditResult",
     "CorpusConfig",
+    "ClassificationStore",
+    "PersistentClassifier",
     "__version__",
 ]

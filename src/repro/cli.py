@@ -8,6 +8,11 @@ Commands
 ``generate``   write raw capture artifacts (HAR/PCAP/keylog) to disk
 ``report``     render one paper table/figure from a fresh run
 ``distill``    train the small local classifier from the LLM teacher
+``cache``      inspect/maintain the persistent classification store
+
+``audit``, ``report`` and ``classify`` accept ``--cache-dir DIR`` to
+persist classifications across runs and worker processes; see
+``docs/cli.md`` for the complete flag reference.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ import sys
 from pathlib import Path
 
 from repro import CorpusConfig, DiffAudit
+from repro.datatypes.store import StoreError
 from repro.pipeline.replay import ReplayCorpus, ReplayError, replay_config
 from repro.services.catalog import SERVICES
 from repro.services.generator import LOAD_PROFILES
@@ -68,6 +74,18 @@ def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
         type=_positive_int,
         default=1,
         help="worker processes for per-service shards (default 1: sequential)",
+    )
+
+
+def _add_cache_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for the persistent classification store; verdicts "
+        "persist across runs and are shared by --jobs workers, so warm "
+        "re-runs skip the inner classifier entirely (results are "
+        "byte-identical either way)",
     )
 
 
@@ -178,9 +196,12 @@ def cmd_audit(args) -> int:
     try:
         corpus = _scan_replay_corpus(args)
         result = DiffAudit(
-            _config(args, corpus), replay=corpus, jobs=args.jobs
+            _config(args, corpus),
+            replay=corpus,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
         ).run()
-    except ReplayError as exc:
+    except (ReplayError, StoreError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.json:
@@ -210,7 +231,9 @@ def cmd_audit(args) -> int:
 
 
 def cmd_classify(args) -> int:
+    from repro.datatypes.cache import CachingClassifier
     from repro.datatypes.majority import MajorityVoteClassifier
+    from repro.datatypes.store import PersistentClassifier, store_path_for
 
     keys = args.keys
     if not keys:
@@ -225,9 +248,51 @@ def cmd_classify(args) -> int:
             )
             return 2
         keys = [line.strip() for line in sys.stdin if line.strip()]
-    classifier = MajorityVoteClassifier(confidence_mode=args.mode)
-    for verdict in classifier.classify_batch(keys):
+    classifier: object = MajorityVoteClassifier(confidence_mode=args.mode)
+    persistent = None
+    if args.cache_dir:
+        # Interactive use warms the exact store a full `audit
+        # --cache-dir` run reads, and benefits from it in turn.
+        persistent = PersistentClassifier.wrap(
+            classifier, store_path_for(args.cache_dir)
+        )
+        classifier = persistent
+    cache = CachingClassifier.wrap(classifier)
+    try:
+        if persistent is not None:
+            persistent.store  # fail fast on an unusable --cache-dir
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for verdict in cache.classify_batch(keys):
         print(verdict.formatted())
+    if persistent is not None and keys and not persistent._disabled:
+        # Statistics are best-effort: classification succeeded, so a
+        # store failure here warns instead of failing the command
+        # (mirroring AuditEngine.run's record_run handling).
+        try:
+            persistent.store.record_run(
+                persistent.inner.name,
+                memory_hits=cache.hits,
+                store_hits=persistent.store_hits,
+                misses=persistent.misses,
+            )
+        except StoreError as exc:
+            print(
+                f"warning: could not record run statistics: {exc}",
+                file=sys.stderr,
+            )
+    if args.verbose:
+        from repro.datatypes.store import RunRecord
+
+        counters = RunRecord(
+            id=0,
+            classifier=cache.name,
+            memory_hits=cache.hits,
+            store_hits=persistent.store_hits if persistent else 0,
+            misses=persistent.misses if persistent else cache.misses,
+        )
+        print(f"cache: {counters.summary()}", file=sys.stderr)
     return 0
 
 
@@ -248,9 +313,12 @@ def cmd_report(args) -> int:
     try:
         corpus = _scan_replay_corpus(args)
         result = DiffAudit(
-            _config(args, corpus), replay=corpus, jobs=args.jobs
+            _config(args, corpus),
+            replay=corpus,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
         ).run()
-    except ReplayError as exc:
+    except (ReplayError, StoreError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     from repro.linkability.analysis import linkability_matrix
@@ -327,6 +395,122 @@ def cmd_distill(args) -> int:
     return 0
 
 
+def _open_store(args):
+    """Open an existing store, or report why it can't be.
+
+    Inspection/maintenance commands open with ``recover=False``: a
+    corrupt store is reported (exit 2) with the file left untouched
+    for salvage, never silently quarantined and rebuilt empty — that
+    recovery behavior is for the audit pipeline, where the store is
+    disposable, not for the command asked to show its contents.
+    """
+    from repro.datatypes.store import ClassificationStore, StoreError, store_path_for
+
+    path = store_path_for(args.cache_dir)
+    if not path.exists():
+        print(f"error: no classification store at {path}", file=sys.stderr)
+        return None
+    try:
+        return ClassificationStore(path, recover=False)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def cmd_cache_stats(args) -> int:
+    store = _open_store(args)
+    if store is None:
+        return 2
+    try:
+        with store:
+            stats = store.stats()
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"store:   {stats.path}")
+    print(f"entries: {stats.total_entries}")
+    for name, count in stats.entries.items():
+        print(f"  {name}: {count}")
+    print(f"runs recorded: {stats.run_count}")
+    last = stats.last_run
+    if last is not None:
+        print(f"last run ({last.classifier}): {last.summary()}")
+    return 0
+
+
+def cmd_cache_export(args) -> int:
+    import json
+
+    store = _open_store(args)
+    if store is None:
+        return 2
+    try:
+        with store:
+            lines = [
+                json.dumps(
+                    {
+                        "classifier": name,
+                        "text": verdict.text,
+                        "label": verdict.label.value if verdict.label else None,
+                        "confidence": verdict.confidence,
+                        "explanation": verdict.explanation,
+                    },
+                    sort_keys=True,
+                )
+                for name, verdict in store.entries(args.classifier)
+            ]
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    output = "\n".join(lines)
+    if args.output:
+        try:
+            Path(args.output).write_text(output + "\n" if output else "")
+        except OSError as exc:
+            print(f"error: cannot write {args.output!r}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {len(lines)} entries to {args.output}")
+    else:
+        if output:
+            print(output)
+    return 0
+
+
+def cmd_cache_prune(args) -> int:
+    if args.classifier is None and args.below is None:
+        print(
+            "error: prune needs --classifier and/or --below "
+            "(use `cache clear` to wipe the store)",
+            file=sys.stderr,
+        )
+        return 2
+    store = _open_store(args)
+    if store is None:
+        return 2
+    try:
+        with store:
+            removed = store.prune(classifier=args.classifier, below=args.below)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"pruned {removed} entries")
+    return 0
+
+
+def cmd_cache_clear(args) -> int:
+    store = _open_store(args)
+    if store is None:
+        return 2
+    try:
+        with store:
+            removed = store.clear()
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"cleared {removed} entries")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -337,6 +521,7 @@ def build_parser() -> argparse.ArgumentParser:
     audit = sub.add_parser("audit", help="run the full audit pipeline")
     _add_corpus_arguments(audit)
     _add_replay_argument(audit)
+    _add_cache_argument(audit)
     audit.add_argument("--json", action="store_true", help="emit a JSON summary")
     audit.add_argument(
         "--output",
@@ -354,6 +539,12 @@ def build_parser() -> argparse.ArgumentParser:
     classify = sub.add_parser("classify", help="classify raw data type keys")
     classify.add_argument("keys", nargs="*", help="keys (default: read stdin)")
     classify.add_argument("--mode", choices=("avg", "max"), default="avg")
+    _add_cache_argument(classify)
+    classify.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print cache hit/miss statistics to stderr after classifying",
+    )
     classify.set_defaults(func=cmd_classify)
 
     generate = sub.add_parser("generate", help="write raw capture artifacts")
@@ -364,6 +555,7 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="render one paper table/figure")
     _add_corpus_arguments(report)
     _add_replay_argument(report)
+    _add_cache_argument(report)
     report.add_argument(
         "artifact",
         choices=(
@@ -384,6 +576,58 @@ def build_parser() -> argparse.ArgumentParser:
     distill.add_argument("--seed", type=int, default=2023)
     distill.add_argument("--threshold", type=float, default=0.8)
     distill.set_defaults(func=cmd_distill)
+
+    cache = sub.add_parser(
+        "cache", help="inspect/maintain the persistent classification store"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+
+    def _cache_dir_arg(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--cache-dir",
+            metavar="DIR",
+            required=True,
+            help="directory holding the classification store",
+        )
+
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry counts and per-run hit rates"
+    )
+    _cache_dir_arg(cache_stats)
+    cache_stats.set_defaults(func=cmd_cache_stats)
+
+    cache_export = cache_sub.add_parser(
+        "export", help="dump stored verdicts as JSON lines"
+    )
+    _cache_dir_arg(cache_export)
+    cache_export.add_argument(
+        "--classifier", default=None, help="restrict to one classifier's entries"
+    )
+    cache_export.add_argument(
+        "--output", default=None, help="write to a file instead of stdout"
+    )
+    cache_export.set_defaults(func=cmd_cache_export)
+
+    cache_prune = cache_sub.add_parser(
+        "prune", help="delete entries by classifier and/or confidence"
+    )
+    _cache_dir_arg(cache_prune)
+    cache_prune.add_argument(
+        "--classifier", default=None, help="delete this classifier's entries"
+    )
+    cache_prune.add_argument(
+        "--below",
+        type=float,
+        default=None,
+        help="delete entries with confidence below this threshold",
+    )
+    cache_prune.set_defaults(func=cmd_cache_prune)
+
+    cache_clear = cache_sub.add_parser(
+        "clear", help="delete every entry and the run history"
+    )
+    _cache_dir_arg(cache_clear)
+    cache_clear.set_defaults(func=cmd_cache_clear)
 
     return parser
 

@@ -28,7 +28,16 @@ class Classification:
 
 @runtime_checkable
 class Classifier(Protocol):
-    """Anything that can label raw data types."""
+    """Anything that can label raw data types.
+
+    ``classify_batch`` is the bulk entry point the pipeline drives:
+    results come back in input order with ``verdict.text`` echoing the
+    input key, and a verdict must not depend on what else is in the
+    batch (classification is per-key pure).  Plain classifiers loop;
+    caching layers (:class:`repro.datatypes.cache.CachingClassifier`,
+    :class:`repro.datatypes.store.PersistentClassifier`) dedupe the
+    batch and answer the miss set with one batched inner call.
+    """
 
     name: str
 
@@ -37,3 +46,18 @@ class Classifier(Protocol):
 
     def classify_batch(self, texts: list[str]) -> list[Classification]:
         return [self.classify(text) for text in texts]
+
+
+def batch_classify(
+    classifier: Classifier, texts: list[str]
+) -> list[Classification]:
+    """Drive ``classifier`` over ``texts`` in one batch.
+
+    A Protocol's default body is not inherited by duck-typed
+    implementations, so classifiers that only define ``classify``
+    (tests, ad-hoc stubs) are driven key-by-key here instead.
+    """
+    batch = getattr(classifier, "classify_batch", None)
+    if batch is not None:
+        return batch(texts)
+    return [classifier.classify(text) for text in texts]

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.datatypes.base import Classification, Classifier
+from repro.datatypes.base import Classification, Classifier, batch_classify
 
 
 @dataclass
@@ -51,7 +51,27 @@ class CachingClassifier:
         return verdict
 
     def classify_batch(self, texts: list[str]) -> list[Classification]:
-        return [self.classify(text) for text in texts]
+        """Batched lookup: misses dedupe into ONE inner batched call.
+
+        The single inner call is what lets a persistent layer below
+        (:class:`repro.datatypes.store.PersistentClassifier`) answer a
+        whole miss set with one disk round-trip instead of one per key.
+        A key repeated within the batch counts as a hit, exactly as it
+        would have under sequential :meth:`classify` calls.
+        """
+        missing: list[str] = []
+        pending: set[str] = set()
+        for text in texts:
+            if text in self._cache or text in pending:
+                self.hits += 1
+            else:
+                pending.add(text)
+                missing.append(text)
+                self.misses += 1
+        if missing:
+            for verdict in batch_classify(self.inner, missing):
+                self._cache[verdict.text] = verdict
+        return [self._cache[text] for text in texts]
 
     # -- instrumentation ------------------------------------------------
 

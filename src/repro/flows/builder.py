@@ -71,14 +71,31 @@ class FlowBuilder:
 
     def label_key(self, key: str) -> Level3 | None:
         """Classify one raw key (memoized, threshold applied)."""
-        self._seen.add(key)
-        verdict = self._cache.classify(key)
-        return (
+        return self.labels_for_keys([key])[0]
+
+    def labels_for_keys(self, keys: list[str]) -> list[Level3 | None]:
+        """Classify raw keys in one batch (memoized, threshold applied)."""
+        self._seen.update(keys)
+        return [
             verdict.label
             if verdict.label is not None
             and verdict.confidence >= self.confidence_threshold
             else None
-        )
+            for verdict in self._cache.classify_batch(keys)
+        ]
+
+    def prime(self, keys: list[str]) -> None:
+        """Classify ``keys`` ahead of per-request flow building.
+
+        One batched call drains every cache miss at once — through a
+        persistent layer that is one disk round-trip for a whole trace
+        instead of one per key — after which the per-request lookups
+        are all in-memory hits.
+        """
+        unique = list(dict.fromkeys(keys))
+        if unique:
+            self._seen.update(unique)
+            self._cache.classify_batch(unique)
 
     def flows_for_request(
         self,
@@ -88,14 +105,23 @@ class FlowBuilder:
         platform: Platform,
         kind: TraceKind,
         age: AgeGroup | None,
+        extracted: list | None = None,
     ) -> list[FlowObservation]:
-        """All data flows one outgoing request produces."""
+        """All data flows one outgoing request produces.
+
+        ``extracted`` lets a caller that already ran
+        :func:`extract_from_request` (the engine extracts once per
+        request for key accounting) pass the result in instead of
+        extracting twice.
+        """
         column = TraceColumn.for_trace(kind, age)
         destination = labeler.label(request.url.fqdn)
         observations: list[FlowObservation] = []
         seen: set[Level3] = set()
-        for extracted in extract_from_request(request):
-            label = self.label_key(extracted.key)
+        if extracted is None:
+            extracted = extract_from_request(request)
+        labels = self.labels_for_keys([item.key for item in extracted])
+        for item, label in zip(extracted, labels):
             if label is None or label in seen:
                 continue
             seen.add(label)
@@ -108,7 +134,7 @@ class FlowBuilder:
                     fqdn=destination.fqdn,
                     esld=destination.esld or esld_of(destination.fqdn),
                     party=destination.party,
-                    raw_key=extracted.key,
+                    raw_key=item.key,
                 )
             )
         return observations

@@ -85,6 +85,12 @@ class DiffAudit:
     # resolution) don't pay, or race, a second scan.
     replay: ReplayCorpus | Path | str | None = None
     jobs: int = 1  # shard workers; 1 = sequential in-process
+    # Persistent classification store directory (``--cache-dir``):
+    # verdicts persist across runs and across worker processes, so a
+    # warm re-audit performs zero inner-classifier calls.  Results are
+    # unchanged either way — classification is a pure function of the
+    # key — only how often the expensive path runs.
+    cache_dir: Path | str | None = None
 
     def __post_init__(self) -> None:
         if self.classifier is None:
@@ -109,6 +115,7 @@ class DiffAudit:
             artifacts_dir=self.artifacts_dir,
             replay=self.replay,
             jobs=self.jobs,
+            cache_dir=self.cache_dir,
         )
 
     def run(self) -> DiffAuditResult:

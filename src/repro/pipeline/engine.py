@@ -20,10 +20,17 @@ in-process (deterministic fallback, zero overhead), or
 :class:`ProcessPoolShardExecutor` across worker processes
 (``--jobs N``).  ``ProcessPoolExecutor.map`` preserves input order, so
 both paths merge identically.
+
+With ``cache_dir`` set, classifications additionally persist in a
+process-safe SQLite store (:mod:`repro.datatypes.store`) shared by
+every shard worker and every run: shards drain their cache misses
+through per-trace batches, warm re-runs never reach the inner
+classifier, and results stay byte-identical either way.
 """
 
 from __future__ import annotations
 
+import sys
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -32,6 +39,7 @@ from typing import Callable, Iterable, Protocol
 from repro.datatypes.base import Classifier
 from repro.datatypes.cache import CachingClassifier
 from repro.datatypes.extract import extract_from_request
+from repro.datatypes.store import PersistentClassifier, StoreError, store_path_for
 from repro.destinations.blocklists import BlockListCollection
 from repro.destinations.entities import EntityDatabase
 from repro.destinations.party import DestinationLabeler
@@ -90,6 +98,11 @@ class ShardResult:
     trace_count: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    # Persistent-store layer counters (zero without --cache-dir): of
+    # the in-memory misses above, how many the disk store answered vs
+    # how many reached the inner classifier.
+    store_hits: int = 0
+    store_misses: int = 0
 
 
 def default_classifier() -> Classifier:
@@ -132,6 +145,12 @@ def process_shard(task: ShardTask) -> ShardResult:
     # count only this shard's hits/misses either way.
     cache = CachingClassifier.wrap(task.classifier)
     hits_before, misses_before = cache.hits, cache.misses
+    # With --cache-dir the classifier stack is memory → disk store →
+    # inner; snapshot the persistent layer's counters so the shard can
+    # report how much of its work the store absorbed.
+    persistent = cache.inner if isinstance(cache.inner, PersistentClassifier) else None
+    store_hits_before = persistent.store_hits if persistent else 0
+    store_misses_before = persistent.misses if persistent else 0
     builder = FlowBuilder(
         classifier=cache, confidence_threshold=task.confidence_threshold
     )
@@ -146,7 +165,16 @@ def process_shard(task: ShardTask) -> ShardResult:
         trace_count += 1
         dataset.add_trace(parsed)
         contacted.update(parsed.contacted_hosts())
-        for request in parsed.requests:
+        # Extract once per request, then drain the whole trace's cache
+        # misses in one batched call — through a persistent layer that
+        # is one disk round-trip per trace instead of one per key.
+        extracted_per_request = [
+            extract_from_request(request) for request in parsed.requests
+        ]
+        builder.prime(
+            [item.key for items in extracted_per_request for item in items]
+        )
+        for request, extracted in zip(parsed.requests, extracted_per_request):
             observations = builder.flows_for_request(
                 request,
                 labeler,
@@ -154,9 +182,10 @@ def process_shard(task: ShardTask) -> ShardResult:
                 platform=parsed.meta.platform,
                 kind=parsed.meta.kind,
                 age=parsed.meta.age,
+                extracted=extracted,
             )
             flows.extend(observations)
-            raw_keys.update(item.key for item in extract_from_request(request))
+            raw_keys.update(item.key for item in extracted)
         # Opaque flows still label their destinations (party/ATS
         # classification does not need plaintext).
         for host in parsed.opaque_hosts:
@@ -183,6 +212,8 @@ def process_shard(task: ShardTask) -> ShardResult:
         trace_count=trace_count,
         cache_hits=cache.hits - hits_before,
         cache_misses=cache.misses - misses_before,
+        store_hits=(persistent.store_hits - store_hits_before) if persistent else 0,
+        store_misses=(persistent.misses - store_misses_before) if persistent else 0,
     )
 
 
@@ -302,6 +333,8 @@ class EngineOutput:
     trace_count: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    store_hits: int = 0
+    store_misses: int = 0  # lookups that reached the inner classifier
 
 
 @dataclass
@@ -320,10 +353,23 @@ class AuditEngine:
     # directory itself, e.g. for config resolution).
     replay: "ReplayCorpus | Path | str | None" = None
     jobs: int = 1
+    # Directory holding the persistent classification store
+    # (``--cache-dir``): classifications persist across runs and are
+    # shared by all shard workers, so a warm re-audit never calls the
+    # inner classifier at all.  None: in-memory caching only.
+    cache_dir: Path | str | None = None
 
     def __post_init__(self) -> None:
         if self.classifier is None:
             self.classifier = default_classifier()
+        if self.cache_dir is not None:
+            self.classifier = PersistentClassifier.wrap(
+                self.classifier, store_path_for(self.cache_dir)
+            )
+            # Fail fast on an unusable --cache-dir (a file, unwritable,
+            # unrecoverably corrupt) before any expensive work starts;
+            # store failures *mid-run* degrade to uncached instead.
+            self.classifier.store
         if self.entity_db is None:
             from repro.destinations.entities import default_entity_db
 
@@ -390,7 +436,7 @@ class AuditEngine:
         classified: set[str] = set()
         owners: dict[tuple[str, str], str | None] = {}
         trace_count = 0
-        hits = misses = 0
+        hits = misses = store_hits = store_misses = 0
         for result in results:
             flows.merge(result.flows)
             dataset.merge(result.dataset)
@@ -402,6 +448,8 @@ class AuditEngine:
             trace_count += result.trace_count
             hits += result.cache_hits
             misses += result.cache_misses
+            store_hits += result.store_hits
+            store_misses += result.store_misses
         return EngineOutput(
             flows=flows,
             dataset=dataset,
@@ -412,6 +460,8 @@ class AuditEngine:
             trace_count=trace_count,
             cache_hits=hits,
             cache_misses=misses,
+            store_hits=store_hits,
+            store_misses=store_misses,
         )
 
     def run(self) -> EngineOutput:
@@ -424,4 +474,22 @@ class AuditEngine:
             shared = CachingClassifier.wrap(self.classifier)
             for task in tasks:
                 task.classifier = shared
-        return self.merge(executor.map_shards(tasks))
+        merged = self.merge(executor.map_shards(tasks))
+        if isinstance(self.classifier, PersistentClassifier):
+            # Parallel shards write through the shared store file; the
+            # parent process appends the run's merged counters so
+            # ``cache stats`` can report per-run hit rates.  A store
+            # failure here must not discard the completed audit.
+            try:
+                self.classifier.store.record_run(
+                    self.classifier.inner.name,
+                    memory_hits=merged.cache_hits,
+                    store_hits=merged.store_hits,
+                    misses=merged.store_misses,
+                )
+            except StoreError as exc:
+                print(
+                    f"warning: could not record run statistics: {exc}",
+                    file=sys.stderr,
+                )
+        return merged

@@ -283,3 +283,147 @@ class TestReportCommand:
     def test_fig3(self, capsys):
         main(["report", "fig3", "--services", "youtube", "--scale", "0.002"])
         assert "youtube" in capsys.readouterr().out
+
+
+class TestCacheDirFlag:
+    def test_audit_report_classify_accept_cache_dir(self):
+        args = build_parser().parse_args(["audit", "--cache-dir", "c"])
+        assert args.cache_dir == "c"
+        args = build_parser().parse_args(["report", "table5", "--cache-dir", "c"])
+        assert args.cache_dir == "c"
+        args = build_parser().parse_args(["classify", "k", "--cache-dir", "c"])
+        assert args.cache_dir == "c"
+
+    def test_audit_with_cache_dir_matches_plain(self, tmp_path, capsys):
+        base = ["audit", "--services", "youtube", "--scale", "0.003", "--json"]
+        main(base)
+        plain = capsys.readouterr().out
+        cache = str(tmp_path / "cache")
+        main([*base, "--cache-dir", cache])  # cold
+        assert capsys.readouterr().out == plain
+        main([*base, "--cache-dir", cache])  # warm
+        assert capsys.readouterr().out == plain
+        main([*base, "--cache-dir", cache, "--jobs", "2"])  # warm, parallel
+        assert capsys.readouterr().out == plain
+
+    def test_classify_verbose_reports_warm_hits(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["classify", "email", "--cache-dir", cache, "--verbose"]) == 0
+        cold = capsys.readouterr()
+        assert "1 classified" in cold.err
+        assert main(["classify", "email", "--cache-dir", cache, "--verbose"]) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out  # same verdict, cold or warm
+        assert "1 store hits" in warm.err
+        assert "hit rate 100.0%" in warm.err
+
+    def test_classify_verbose_without_cache_dir(self, capsys):
+        assert main(["classify", "email", "email", "--verbose"]) == 0
+        err = capsys.readouterr().err
+        assert "2 lookups" in err and "1 memory hits" in err
+
+    def test_classify_warms_the_audit_store(self, tmp_path, capsys):
+        # Interactive classification and full audits share one store.
+        from repro.datatypes.store import ClassificationStore, store_path_for
+
+        cache = str(tmp_path / "cache")
+        main(["classify", "email", "--cache-dir", cache])
+        capsys.readouterr()
+        with ClassificationStore(store_path_for(cache)) as store:
+            assert store.get("gpt4-majority-avg", "email") is not None
+
+
+class TestCacheCommand:
+    def _warm(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        main(["classify", "email", "age", "--cache-dir", cache])
+        capsys.readouterr()
+        return cache
+
+    def test_stats(self, tmp_path, capsys):
+        cache = self._warm(tmp_path, capsys)
+        assert main(["cache", "stats", "--cache-dir", cache]) == 0
+        output = capsys.readouterr().out
+        assert "entries: 2" in output
+        assert "gpt4-majority-avg: 2" in output
+        assert "runs recorded: 1" in output
+
+    def test_stats_missing_store_errors(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 2
+        assert "no classification store" in capsys.readouterr().err
+
+    def test_export_json_lines(self, tmp_path, capsys):
+        cache = self._warm(tmp_path, capsys)
+        assert main(["cache", "export", "--cache-dir", cache]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        entries = [json.loads(line) for line in lines]
+        assert {entry["text"] for entry in entries} == {"email", "age"}
+        assert all(entry["classifier"] == "gpt4-majority-avg" for entry in entries)
+
+    def test_export_to_file(self, tmp_path, capsys):
+        cache = self._warm(tmp_path, capsys)
+        target = tmp_path / "dump.jsonl"
+        assert main(
+            ["cache", "export", "--cache-dir", cache, "--output", str(target)]
+        ) == 0
+        assert len(target.read_text().strip().splitlines()) == 2
+
+    def test_prune_requires_criterion(self, tmp_path, capsys):
+        cache = self._warm(tmp_path, capsys)
+        assert main(["cache", "prune", "--cache-dir", cache]) == 2
+        assert "cache clear" in capsys.readouterr().err
+
+    def test_prune_by_classifier(self, tmp_path, capsys):
+        cache = self._warm(tmp_path, capsys)
+        code = main(
+            ["cache", "prune", "--cache-dir", cache, "--classifier", "gpt4-majority-avg"]
+        )
+        assert code == 0
+        assert "pruned 2 entries" in capsys.readouterr().out
+
+    def test_clear(self, tmp_path, capsys):
+        cache = self._warm(tmp_path, capsys)
+        assert main(["cache", "clear", "--cache-dir", cache]) == 0
+        assert "cleared 2 entries" in capsys.readouterr().out
+        main(["cache", "stats", "--cache-dir", cache])
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
+    def test_corrupt_store_is_reported_not_quarantined(self, tmp_path, capsys):
+        # Inspection commands must never destroy the evidence they were
+        # asked to report on: a corrupt store exits 2 and stays on disk.
+        from repro.datatypes.store import store_path_for
+
+        path = store_path_for(tmp_path)
+        garbage = b"not an sqlite database" * 40
+        path.write_bytes(garbage)
+        for command in ("stats", "export", "prune", "clear"):
+            argv = ["cache", command, "--cache-dir", str(tmp_path)]
+            if command == "prune":
+                argv += ["--below", "0.5"]
+            assert main(argv) == 2, command
+            assert "corrupt" in capsys.readouterr().err
+            assert path.read_bytes() == garbage
+            assert not path.with_suffix(".sqlite.corrupt").exists()
+
+    def test_classify_mid_run_store_failure_still_succeeds(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        # Verdicts come from the (pure) classifier; a store that dies
+        # mid-run degrades with a warning, never a failure exit.
+        from repro.datatypes.store import ClassificationStore, StoreError
+
+        def explode(self, *args, **kwargs):
+            raise StoreError("disk full")
+
+        monkeypatch.setattr(ClassificationStore, "put_many", explode)
+        code = main(
+            ["classify", "email", "--cache-dir", str(tmp_path / "c"), "--verbose"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Contact Information" in captured.out
+        assert "disabled for this process" in captured.err

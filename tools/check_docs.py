@@ -7,7 +7,12 @@ Scans README.md and docs/*.md for
   resolve to an importable module or an attribute of one;
 * relative markdown links — each must point at an existing file;
 * ``$ python -m repro …`` console snippets — each must parse against
-  the actual CLI argument parser (commands and flags must exist).
+  the actual CLI argument parser (commands and flags must exist);
+* ``docs/cli.md`` — the complete CLI reference must stay in sync with
+  the argparse tree: every (sub)command needs a ``## `repro …` ``
+  heading, every option a command defines must appear in that
+  command's section, and every ``--option`` token anywhere in the file
+  must exist somewhere in the CLI (no stale flags).
 
 Run from the repo root with ``PYTHONPATH=src python tools/check_docs.py``.
 Exits non-zero listing every broken reference.
@@ -61,8 +66,92 @@ def check_cli_snippet(arg_line: str) -> str | None:
     return None
 
 
+def iter_cli_commands(parser, prefix: str = "repro"):
+    """Yield ``(command_path, parser)`` for every subcommand, recursively."""
+    import argparse
+
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            seen = set()
+            for name, sub in action.choices.items():
+                if id(sub) in seen:  # aliases map to the same parser
+                    continue
+                seen.add(id(sub))
+                path = f"{prefix} {name}"
+                yield path, sub
+                yield from iter_cli_commands(sub, path)
+
+
+def command_options(parser) -> set[str]:
+    """The long option strings one command defines (``--help`` aside)."""
+    return {
+        option
+        for action in parser._actions
+        for option in action.option_strings
+        if option.startswith("--") and option != "--help"
+    }
+
+
+CLI_HEADING = re.compile(r"^#+ .*`(repro[^`]*)`", re.MULTILINE)
+CLI_OPTION = re.compile(r"`(--[a-z][a-z-]*)`")
+# Greedy token scan for coverage checks: matches the longest flag at
+# each position, so documenting `--cache-dir` can never be mistaken
+# for documenting a hypothetical `--cache`.
+OPTION_TOKEN = re.compile(r"--[a-z][a-z-]*")
+
+
+def check_cli_reference() -> list[str]:
+    """``docs/cli.md`` section-by-section against the argparse tree."""
+    from repro.cli import build_parser
+
+    path = ROOT / "docs" / "cli.md"
+    rel = path.relative_to(ROOT)
+    if not path.exists():
+        return [f"{rel}: missing"]
+    text = path.read_text(encoding="utf-8")
+    errors: list[str] = []
+
+    commands = dict(iter_cli_commands(build_parser()))
+    headings = [
+        (match.start(), match.group(1).strip())
+        for match in CLI_HEADING.finditer(text)
+    ]
+    sections: dict[str, str] = {}
+    for index, (start, name) in enumerate(headings):
+        end = headings[index + 1][0] if index + 1 < len(headings) else len(text)
+        sections[name] = text[start:end]
+
+    for name in sections:
+        if name != "repro" and name not in commands:
+            errors.append(f"{rel}: section for unknown command {name!r}")
+    # Flags shared by several commands (--seed, --jobs, …) may be
+    # documented once in the preamble instead of in every section.
+    preamble = text[: headings[0][0]] if headings else text
+    shared = set(OPTION_TOKEN.findall(preamble))
+    for name, parser in commands.items():
+        section = sections.get(name)
+        if section is None:
+            errors.append(f"{rel}: no section heading for `{name}`")
+            continue
+        documented = set(OPTION_TOKEN.findall(section)) | shared
+        for option in sorted(command_options(parser) - documented):
+            errors.append(
+                f"{rel}: `{name}` section does not document {option}"
+            )
+
+    all_options = {
+        option
+        for parser in commands.values()
+        for option in command_options(parser)
+    }
+    for option in sorted(set(CLI_OPTION.findall(text)) - all_options):
+        errors.append(f"{rel}: documents nonexistent option {option}")
+    return errors
+
+
 def main() -> int:
     errors: list[str] = []
+    errors.extend(check_cli_reference())
     for path in DOC_FILES:
         if not path.exists():
             errors.append(f"{path.relative_to(ROOT)}: missing")
