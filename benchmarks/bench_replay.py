@@ -2,11 +2,12 @@
 
 Measures the three legs of the artifact pipeline on the same config:
 
-* ``generate`` — write every HAR/PCAP/keylog artifact plus the manifest;
+* ``generate`` — write every HAR/PCAP/keylog artifact plus the manifest
+  (timed once per session by the shared ``generated_corpus`` fixture);
 * in-memory audit — generate → capture → parse → audit in one process
   tree, nothing touching disk;
 * replay audit — scan the artifacts directory and audit it
-  (``audit --from-artifacts``).
+  (``audit --from-artifacts``), mmap-decoding the archived PCAPs.
 
 Replay skips traffic generation and capture encryption but adds file
 I/O and (for mobile) PCAP parsing of archived bytes; the throughput
@@ -19,24 +20,20 @@ from __future__ import annotations
 
 import time
 
-from repro import CorpusConfig, DiffAudit
-from repro.pipeline.engine import generate_corpus_artifacts
+from repro import DiffAudit
 from repro.reporting.export import result_to_json
 
 
-def test_replay_throughput(corpus_config, save_artifact, tmp_path_factory):
-    artifacts_dir = tmp_path_factory.mktemp("replay-bench-artifacts")
-
-    start = time.perf_counter()
-    trace_count = generate_corpus_artifacts(corpus_config, artifacts_dir)
-    generate_s = time.perf_counter() - start
+def test_replay_throughput(corpus_config, generated_corpus, save_artifact):
+    trace_count = generated_corpus.traces
+    generate_s = generated_corpus.generate_s
 
     start = time.perf_counter()
     in_memory = DiffAudit(corpus_config).run()
     in_memory_s = time.perf_counter() - start
 
     start = time.perf_counter()
-    replayed = DiffAudit(corpus_config, replay=artifacts_dir).run()
+    replayed = DiffAudit(corpus_config, replay=generated_corpus.directory).run()
     replay_s = time.perf_counter() - start
 
     in_memory_json = result_to_json(in_memory)
@@ -44,7 +41,9 @@ def test_replay_throughput(corpus_config, save_artifact, tmp_path_factory):
     assert replayed_json == in_memory_json, "replay diverged from in-memory audit"
 
     artifact_bytes = sum(
-        path.stat().st_size for path in artifacts_dir.iterdir() if path.is_file()
+        path.stat().st_size
+        for path in generated_corpus.directory.iterdir()
+        if path.is_file()
     )
     lines = [
         "Artifact replay — throughput vs in-memory audit",

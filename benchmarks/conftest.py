@@ -3,6 +3,15 @@
 ``REPRO_BENCH_SCALE`` (default 0.02) sets the traffic volume relative
 to the paper's Table 1; structural results (Table 4 grid, Figures 3/4)
 are scale-independent, while packet/flow volumes scale linearly.
+``--quick`` (pytest flag, honored uniformly by every ``bench_*.py``
+module through the shared ``corpus_config`` fixture) drops the scale
+to the CI-smoke volume unless ``REPRO_BENCH_SCALE`` explicitly
+overrides it.
+
+One generated artifacts corpus (``generated_corpus``) is shared by
+every benchmark module that needs on-disk artifacts — generating it is
+the single most expensive setup step, so it happens once per session,
+not once per file.
 
 Every benchmark writes its rendered table/figure to
 ``benchmarks/results/`` so a run leaves the full set of paper artifacts
@@ -12,22 +21,64 @@ on disk.
 from __future__ import annotations
 
 import os
+import time
+from dataclasses import dataclass
 from pathlib import Path
 
 import pytest
 
 from repro import CorpusConfig, DiffAudit
+from repro.pipeline.engine import generate_corpus_artifacts
 
 RESULTS_DIR = Path(__file__).parent / "results"
+QUICK_SCALE = 0.005
 
 
-def bench_scale() -> float:
-    return float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help=f"benchmark smoke mode: scale {QUICK_SCALE} unless "
+        "REPRO_BENCH_SCALE is set",
+    )
+
+
+def bench_scale(request=None) -> float:
+    """The session's corpus scale: env override > --quick > default."""
+    env = os.environ.get("REPRO_BENCH_SCALE")
+    if env is not None:
+        return float(env)
+    if request is not None and request.config.getoption("--quick", default=False):
+        return QUICK_SCALE
+    return 0.02
 
 
 @pytest.fixture(scope="session")
-def corpus_config() -> CorpusConfig:
-    return CorpusConfig(scale=bench_scale())
+def corpus_config(request) -> CorpusConfig:
+    return CorpusConfig(scale=bench_scale(request))
+
+
+@dataclass(frozen=True)
+class GeneratedCorpus:
+    """The session-shared artifacts directory plus its setup timings."""
+
+    directory: Path
+    traces: int
+    generate_s: float  # wall time of the one generation run
+
+
+@pytest.fixture(scope="session")
+def generated_corpus(corpus_config, tmp_path_factory) -> GeneratedCorpus:
+    """One artifacts corpus generated once and shared across modules."""
+    directory = tmp_path_factory.mktemp("bench-shared-corpus")
+    start = time.perf_counter()
+    traces = generate_corpus_artifacts(corpus_config, directory)
+    return GeneratedCorpus(
+        directory=directory,
+        traces=traces,
+        generate_s=time.perf_counter() - start,
+    )
 
 
 @pytest.fixture(scope="session")

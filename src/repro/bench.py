@@ -1,0 +1,432 @@
+"""Recorded benchmark trajectory — the machine-readable perf record.
+
+``repro bench`` (or ``tools/bench_record.py``) runs the benchmark
+suite and appends one ``BENCH_<n>.json`` entry to the trajectory:
+``BENCH_0.json`` is the oldest recording, ``BENCH_<n>`` the newest,
+so the sequence of files *is* the performance history of the repo and
+every future change can be held against it.
+
+Each entry is a JSON document with a ``workloads`` list; every
+workload record carries the schema fields in
+:data:`BENCH_SCHEMA_FIELDS` (documented in ``docs/performance.md``):
+
+* ``workload`` — which suite member ran (``decode``, ``audit``,
+  ``audit-parallel``);
+* ``scale`` / ``profile`` / ``jobs`` / ``repeats`` — the knobs, so
+  entries are only ever compared like-for-like;
+* ``wall_time_s`` — best-of-``repeats`` wall time;
+* ``peak_rss_kb`` — the workload process's peak resident set
+  (each workload runs in its own child process so one workload's
+  allocations cannot inflate another's reading);
+* ``throughput`` / ``throughput_unit`` — MB/s of PCAP bytes decoded,
+  or audit traces/s;
+* ``git_rev`` — the revision the numbers were measured at
+  (``-dirty`` when the working tree had uncommitted changes).
+
+When a previous entry exists, the new document embeds a
+``compared_to`` block with per-workload throughput ratios against the
+most recent entry that ran the same workload with the same knobs.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro import CorpusConfig, DiffAudit
+from repro.capture.decrypt import decrypt_mobile_artifact
+from repro.capture.pcapdroid import PcapdroidCapture
+from repro.model import Platform
+from repro.services.generator import TrafficGenerator
+
+BENCH_VERSION = 1
+BENCH_GLOB = "BENCH_*.json"
+
+#: The fields every workload record must carry — the on-disk schema
+#: contract checked by ``tools/check_docs.py`` against
+#: ``docs/performance.md`` and by the perf-smoke CI job.
+BENCH_SCHEMA_FIELDS = (
+    "workload",
+    "scale",
+    "profile",
+    "jobs",
+    "repeats",
+    "wall_time_s",
+    "peak_rss_kb",
+    "throughput",
+    "throughput_unit",
+    "git_rev",
+)
+
+DEFAULT_SCALE = 0.02
+QUICK_SCALE = 0.005
+DEFAULT_REPEATS = 3
+QUICK_REPEATS = 1
+
+
+class BenchError(RuntimeError):
+    """Raised when a benchmark entry cannot be recorded or validated."""
+
+
+# The record fields that must agree for two entries to be comparable.
+_COMPARE_KNOBS = ("workload", "scale", "profile", "jobs")
+
+
+def git_revision(root: Path | None = None) -> str:
+    """``<short-rev>[-dirty]`` for the tree the measured code came from.
+
+    Defaults to the directory holding this module (the source
+    checkout), not the benchmark output directory — the revision
+    describes the *code*, wherever the numbers land.
+    """
+    cwd = Path(root) if root is not None else Path(__file__).resolve().parent
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+    return f"{rev}-dirty" if status else rev
+
+
+def _peak_rss_kb() -> int:
+    """Peak resident set of *this* process, normalized to kilobytes."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # ru_maxrss is bytes on macOS
+        peak //= 1024
+    return int(peak)
+
+
+# ----------------------------------------------------------------------
+# Workloads (each runs inside its own child process)
+# ----------------------------------------------------------------------
+
+
+def _mobile_corpus(config: CorpusConfig) -> list[tuple[bytes, str]]:
+    """Capture every mobile trace as archived (pcap bytes, keylog text)."""
+    generator = TrafficGenerator(config)
+    capture = PcapdroidCapture()
+    corpus: list[tuple[bytes, str]] = []
+    for trace in generator.generate_corpus():
+        if trace.platform is not Platform.MOBILE:
+            continue
+        artifact = capture.capture(trace)
+        corpus.append((artifact.pcap_bytes(), artifact.keylog_text()))
+    return corpus
+
+
+def _decode_workload(scale: float, profile: str, repeats: int) -> dict:
+    """Cold-path decode: PCAP → frames → TCP → TLS → HTTP requests.
+
+    Setup (generation + capture encryption) is untimed; the timed loop
+    is exactly the per-trace work ``audit --from-artifacts`` does to a
+    mobile corpus.  Throughput is MB of archived PCAP bytes decoded
+    per second.
+    """
+    corpus = _mobile_corpus(CorpusConfig(scale=scale, profile=profile))
+    if not corpus:
+        raise BenchError("decode workload produced no mobile traces")
+    total_bytes = sum(len(pcap) for pcap, _ in corpus)
+    best = float("inf")
+    requests = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        requests = 0
+        for pcap_bytes, keylog_text in corpus:
+            requests += len(decrypt_mobile_artifact(pcap_bytes, keylog_text).requests)
+        best = min(best, time.perf_counter() - start)
+    if requests == 0:
+        raise BenchError("decode workload recovered no requests")
+    return {
+        "wall_time_s": round(best, 4),
+        "throughput": round(total_bytes / best / 1e6, 3),
+        "throughput_unit": "MB/s",
+        "detail": {
+            "traces": len(corpus),
+            "pcap_bytes": total_bytes,
+            "requests_recovered": requests,
+        },
+    }
+
+
+def _audit_workload(scale: float, profile: str, jobs: int, repeats: int) -> dict:
+    """End-to-end audit wall time (generate → decode → classify → audit)."""
+    config = CorpusConfig(scale=scale, profile=profile)
+    traces = sum(
+        len(TrafficGenerator(config).trace_units(spec))
+        for spec in config.service_specs()
+    )
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        DiffAudit(config, jobs=jobs).run()
+        best = min(best, time.perf_counter() - start)
+    return {
+        "wall_time_s": round(best, 4),
+        "throughput": round(traces / best, 3),
+        "throughput_unit": "traces/s",
+        "detail": {"traces": traces},
+    }
+
+
+def _child_entry(target, args: tuple, conn) -> None:
+    """Child-process wrapper: run the workload, report payload + RSS."""
+    try:
+        payload = target(*args)
+        payload["peak_rss_kb"] = _peak_rss_kb()
+        conn.send(payload)
+    except BaseException as exc:  # surface the failure in the parent
+        conn.send({"error": f"{type(exc).__name__}: {exc}"})
+        raise
+    finally:
+        conn.close()
+
+
+def _run_isolated(target, args: tuple) -> dict:
+    """Run one workload in a fresh child so peak RSS is per-workload."""
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        context = multiprocessing.get_context()
+    receiver, sender = context.Pipe(duplex=False)
+    process = context.Process(target=_child_entry, args=(target, args, sender))
+    process.start()
+    sender.close()
+    try:
+        payload = receiver.recv()
+    except EOFError as exc:
+        raise BenchError(f"benchmark worker died without reporting: {exc}") from exc
+    finally:
+        process.join()
+        receiver.close()
+    if "error" in payload:
+        raise BenchError(f"benchmark workload failed: {payload['error']}")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Trajectory files
+# ----------------------------------------------------------------------
+
+
+def bench_entries(root: Path) -> list[tuple[int, Path]]:
+    """Existing ``BENCH_<n>.json`` files, ordered by index."""
+    entries = []
+    for path in Path(root).glob(BENCH_GLOB):
+        suffix = path.stem.split("_", 1)[1]
+        if suffix.isdigit():
+            entries.append((int(suffix), path))
+    return sorted(entries)
+
+
+def load_entry(path: Path) -> dict:
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(document, dict) or "workloads" not in document:
+        raise BenchError(f"{path} is not a benchmark entry (no 'workloads' key)")
+    return document
+
+
+def validate_entry(document: dict) -> None:
+    """Schema check: every workload record carries every schema field."""
+    for record in document.get("workloads", []):
+        missing = [field for field in BENCH_SCHEMA_FIELDS if field not in record]
+        if missing:
+            raise BenchError(
+                f"workload record {record.get('workload')!r} is missing "
+                f"schema field(s): {', '.join(missing)}"
+            )
+
+
+def compare_entries(current: dict, previous: dict) -> dict:
+    """Per-workload throughput/wall-time ratios vs a previous entry.
+
+    Only like-for-like records (same workload, scale, profile, jobs)
+    are compared; a quick CI entry never gets held against a
+    full-scale recording.
+    """
+    ratios: dict[str, dict] = {}
+    for record in current.get("workloads", []):
+        for old in previous.get("workloads", []):
+            if all(
+                old.get(field) == record.get(field) for field in _COMPARE_KNOBS
+            ):
+                if old.get("throughput") and record.get("throughput"):
+                    ratios[record["workload"]] = {
+                        "throughput_speedup": round(
+                            record["throughput"] / old["throughput"], 3
+                        ),
+                        "wall_time_ratio": round(
+                            record["wall_time_s"] / old["wall_time_s"], 3
+                        )
+                        if old.get("wall_time_s")
+                        else None,
+                    }
+                break
+    return ratios
+
+
+def run_bench(
+    root: Path,
+    scale: float = DEFAULT_SCALE,
+    profile: str = "standard",
+    jobs: int = 2,
+    repeats: int = DEFAULT_REPEATS,
+    workloads: tuple[str, ...] = ("decode", "audit", "audit-parallel"),
+) -> tuple[Path, dict]:
+    """Run the suite, write the next ``BENCH_<n>.json``, return both."""
+    root = Path(root)
+    rev = git_revision()
+    records: list[dict] = []
+    for name in workloads:
+        if name == "decode":
+            payload = _run_isolated(_decode_workload, (scale, profile, repeats))
+            knobs = {"jobs": 1}
+        elif name == "audit":
+            payload = _run_isolated(_audit_workload, (scale, profile, 1, repeats))
+            knobs = {"jobs": 1}
+        elif name == "audit-parallel":
+            payload = _run_isolated(_audit_workload, (scale, profile, jobs, repeats))
+            knobs = {"jobs": jobs}
+        else:
+            raise BenchError(f"unknown workload {name!r}")
+        detail = payload.pop("detail", {})
+        record = {
+            "workload": name,
+            "scale": scale,
+            "profile": profile,
+            "repeats": repeats,
+            **knobs,
+            **payload,
+            "git_rev": rev,
+        }
+        record["detail"] = detail
+        records.append(record)
+
+    entries = bench_entries(root)
+    index = entries[-1][0] + 1 if entries else 0
+    document: dict = {
+        "version": BENCH_VERSION,
+        "git_rev": rev,
+        "recorded_unix": int(time.time()),
+        "python": ".".join(str(v) for v in sys.version_info[:3]),
+        "workloads": records,
+    }
+    # Baseline = the most recent entry with at least one like-for-like
+    # record, not blindly the newest file: an interleaved --quick CI
+    # entry must not disarm comparisons for full-scale recordings.
+    for _, previous_path in reversed(entries):
+        ratios = compare_entries(document, load_entry(previous_path))
+        if ratios:
+            document["compared_to"] = {"file": previous_path.name, **ratios}
+            break
+    validate_entry(document)
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / f"BENCH_{index}.json"
+    path.write_text(json.dumps(document, indent=1) + "\n", encoding="utf-8")
+    return path, document
+
+
+def render_report(path: Path, document: dict) -> str:
+    lines = [f"wrote {path}", f"git rev: {document['git_rev']}"]
+    for record in document["workloads"]:
+        lines.append(
+            f"  {record['workload']:<16} {record['wall_time_s']:>8.3f} s   "
+            f"{record['throughput']:>10.3f} {record['throughput_unit']:<9} "
+            f"peak RSS {record['peak_rss_kb'] / 1024:.0f} MB"
+        )
+    compared = document.get("compared_to")
+    if compared:
+        lines.append(f"vs {compared['file']}:")
+        for name, ratio in compared.items():
+            if name == "file":
+                continue
+            lines.append(
+                f"  {name:<16} {ratio['throughput_speedup']:.2f}x throughput"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="run the benchmark suite and record BENCH_<n>.json"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI smoke mode: scale {QUICK_SCALE}, {QUICK_REPEATS} repeat",
+    )
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--profile", default="standard")
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument(
+        "--output-dir",
+        default=".",
+        help="directory receiving BENCH_<n>.json (default: current directory)",
+    )
+    parser.add_argument(
+        "--min-decode-speedup",
+        type=float,
+        default=None,
+        help="fail unless decode throughput is at least this multiple of "
+        "the previous comparable entry",
+    )
+    args = parser.parse_args(argv)
+    scale = args.scale if args.scale is not None else (
+        QUICK_SCALE if args.quick else DEFAULT_SCALE
+    )
+    repeats = QUICK_REPEATS if args.quick else DEFAULT_REPEATS
+    try:
+        path, document = run_bench(
+            Path(args.output_dir),
+            scale=scale,
+            profile=args.profile,
+            jobs=args.jobs,
+            repeats=repeats,
+        )
+    except BenchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(render_report(path, document))
+    if args.min_decode_speedup is not None:
+        speedup = (
+            document.get("compared_to", {})
+            .get("decode", {})
+            .get("throughput_speedup")
+        )
+        if speedup is None:
+            # Never silently disarm the gate: say why it could not run.
+            print(
+                "warning: --min-decode-speedup not evaluated — no previous "
+                "entry ran the decode workload with these knobs",
+                file=sys.stderr,
+            )
+        elif speedup < args.min_decode_speedup:
+            print(
+                f"error: decode speedup {speedup:.2f}x is below the required "
+                f"{args.min_decode_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,16 +8,25 @@ and parse the plaintext into HTTP requests.  Flows whose secret is
 missing (certificate-pinned) surface as *opaque contacts*: destination
 (from the SNI) and frame count only — the paper keeps encrypted
 traffic in its packet/domain accounting (§3.1.1).
+
+Decoding is streaming and zero-copy: raw bytes (or an mmap-backed
+on-disk file, via a :class:`~repro.net.pcap.PcapReader`) are walked
+record by record, each frame's TCP payload is a view into the capture
+buffer, and payload bytes are copied exactly once — into the flow
+reassembly buffer.  Passing an eager :class:`~repro.net.pcap.PcapFile`
+still works and takes the identical code path over its in-memory
+packets, which is what the streaming-vs-eager parity tests pin down.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
 
-from repro.capture.pcapdroid import MobileArtifact
 from repro.net.http import HttpRequest, parse_request_stream
-from repro.net.packet import Frame, PacketError
-from repro.net.pcap import PcapFile
+from repro.net.packet import PacketError, parse_tcp_segment
+from repro.net.pcap import PcapFile, PcapReader
 from repro.net.tcp import TcpReassembler
 from repro.net.tls import KeyLog, TlsError, decrypt_stream, looks_like_tls, unwrap_hello
 
@@ -51,25 +60,50 @@ class MobileDecryption:
 
 
 def decrypt_mobile_artifact(
-    pcap: PcapFile | bytes, keylog: KeyLog | str
+    pcap: "PcapFile | bytes | bytearray | memoryview | str | Path",
+    keylog: KeyLog | str,
 ) -> MobileDecryption:
-    """Recover plaintext requests from a PCAP + key-log pair."""
-    if isinstance(pcap, (bytes, bytearray)):
-        pcap = PcapFile.from_bytes(bytes(pcap))
+    """Recover plaintext requests from a PCAP + key-log pair.
+
+    ``pcap`` may be raw capture bytes (decoded zero-copy in place), a
+    filesystem path (memory-mapped, never fully read into Python
+    bytes), or an eager :class:`PcapFile`.
+    """
     if isinstance(keylog, str):
         keylog = KeyLog.from_text(keylog)
+    if isinstance(pcap, (str, Path)):
+        with PcapReader.open(pcap) as reader:
+            return _decrypt_packets(
+                ((r.timestamp, r.data) for r in reader.iter_packets()), keylog
+            )
+    if isinstance(pcap, PcapFile):
+        return _decrypt_packets(
+            ((p.timestamp, p.data) for p in pcap.packets), keylog
+        )
+    reader = PcapReader(pcap)
+    return _decrypt_packets(
+        ((r.timestamp, r.data) for r in reader.iter_packets()), keylog
+    )
 
-    result = MobileDecryption(packet_count=len(pcap))
+
+def _decrypt_packets(
+    packets: Iterable[tuple[float, "bytes | memoryview"]], keylog: KeyLog
+) -> MobileDecryption:
+    """The shared streaming core: frames → flows → TLS → HTTP."""
+    result = MobileDecryption()
     reassembler = TcpReassembler()
     frame_counts: dict[str, int] = {}
-    for packet in pcap.packets:
+    packet_count = 0
+    for timestamp, data in packets:
+        packet_count += 1
         try:
-            frame = Frame.from_bytes(packet.data, timestamp=packet.timestamp)
+            segment = parse_tcp_segment(data, timestamp=timestamp)
         except PacketError:
             continue  # non-TCP noise is skipped, as Wireshark filters would
-        reassembler.add_frame(frame)
-        key = "%s:%d->%s:%d" % frame.flow_key
+        reassembler.add_segment(segment)
+        key = "%s:%d->%s:%d" % segment.flow_key
         frame_counts[key] = frame_counts.get(key, 0) + 1
+    result.packet_count = packet_count
 
     flows = reassembler.flows()
     result.flow_count = len(flows)

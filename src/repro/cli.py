@@ -9,6 +9,7 @@ Commands
 ``report``     render one paper table/figure from a fresh run
 ``distill``    train the small local classifier from the LLM teacher
 ``cache``      inspect/maintain the persistent classification store
+``bench``      run the benchmark suite and record ``BENCH_<n>.json``
 
 ``audit``, ``report`` and ``classify`` accept ``--cache-dir DIR`` to
 persist classifications across runs and worker processes; see
@@ -511,6 +512,21 @@ def cmd_cache_clear(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.bench import main as bench_main
+
+    argv = ["--output-dir", args.output_dir, "--jobs", str(args.jobs)]
+    if args.quick:
+        argv.append("--quick")
+    if args.scale is not None:
+        argv.extend(["--scale", str(args.scale)])
+    if args.profile is not None:
+        argv.extend(["--profile", args.profile])
+    if args.min_decode_speedup is not None:
+        argv.extend(["--min-decode-speedup", str(args.min_decode_speedup)])
+    return bench_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -628,6 +644,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _cache_dir_arg(cache_clear)
     cache_clear.set_defaults(func=cmd_cache_clear)
+
+    bench = sub.add_parser(
+        "bench", help="run the benchmark suite and record BENCH_<n>.json"
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small corpus, one repeat per workload",
+    )
+    bench.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="corpus scale for the workloads (default 0.02; --quick 0.005)",
+    )
+    bench.add_argument(
+        "--profile",
+        choices=sorted(LOAD_PROFILES),
+        default=None,
+        help="load profile for the workloads (default standard)",
+    )
+    bench.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=2,
+        help="worker processes for the audit-parallel workload (default 2)",
+    )
+    bench.add_argument(
+        "--output-dir",
+        default=".",
+        help="directory receiving BENCH_<n>.json (default: current directory)",
+    )
+    bench.add_argument(
+        "--min-decode-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero unless decode throughput is at least this "
+        "multiple of the previous comparable entry",
+    )
+    bench.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -89,27 +89,8 @@ class HttpRequest:
         head, sep, body = data.partition(b"\r\n\r\n")
         if not sep:
             raise HttpParseError("missing header/body separator")
-        lines = head.decode("latin-1").split("\r\n")
-        try:
-            method, target, version = lines[0].split(" ", 2)
-        except ValueError as exc:
-            raise HttpParseError(f"bad request line: {lines[0]!r}") from exc
-        headers = []
-        host = ""
-        for line in lines[1:]:
-            name, colon, value = line.partition(":")
-            if not colon:
-                raise HttpParseError(f"bad header line: {line!r}")
-            header = Header(name=name.strip(), value=value.strip())
-            headers.append(header)
-            if header.matches("Host"):
-                host = header.value
-        if not host:
-            raise HttpParseError("request missing Host header")
+        method, target, version, headers, host, length_text = _parse_head(head)
         url = parse_url(f"{scheme}://{host}{target}")
-        length_text = next(
-            (h.value for h in headers if h.matches("Content-Length")), None
-        )
         if length_text is not None:
             body = body[: int(length_text)]
         return cls(
@@ -122,39 +103,76 @@ class HttpRequest:
         )
 
 
+def _parse_head(head: bytes) -> tuple[str, str, str, list[Header], str, str | None]:
+    """Parse a request head (no body, no trailing separator).
+
+    Returns ``(method, target, version, headers, host,
+    content_length_text)`` so stream walking parses each head exactly
+    once — the framing fields fall out of the same pass that builds
+    the header list.
+    """
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, target, version = lines[0].split(" ", 2)
+    except ValueError as exc:
+        raise HttpParseError(f"bad request line: {lines[0]!r}") from exc
+    headers: list[Header] = []
+    host = ""
+    length_text: str | None = None
+    for line in lines[1:]:
+        name, colon, value = line.partition(":")
+        if not colon:
+            raise HttpParseError(f"bad header line: {line!r}")
+        header = Header(name=name.strip(), value=value.strip())
+        headers.append(header)
+        lowered = header.name.lower()
+        if lowered == "host":
+            host = header.value  # last Host wins, as before
+        if length_text is None and lowered == "content-length":
+            length_text = header.value  # first Content-Length frames
+    if not host:
+        raise HttpParseError("request missing Host header")
+    return method, target, version, headers, host, length_text
+
+
 def parse_request_stream(
     data: bytes, scheme: str = "https", timestamp: float = 0.0
 ) -> list[HttpRequest]:
     """Parse a pipelined client→server byte stream into requests.
 
     Connection reuse puts several requests back to back on one TCP
-    flow; this walks the stream using Content-Length framing.  A
+    flow; this walks the stream using Content-Length framing, parsing
+    each head once and slicing bodies straight out of the stream.  A
     trailing partial request (truncated capture) is dropped, matching
     how Wireshark-based pipelines behave on incomplete flows.
     """
     requests: list[HttpRequest] = []
     position = 0
-    while position < len(data):
+    stream_length = len(data)
+    while position < stream_length:
         separator = data.find(b"\r\n\r\n", position)
         if separator == -1:
             break
-        head = data[position : separator + 4]
         try:
-            prefix = HttpRequest.from_bytes(head + b"", scheme=scheme)
-        except HttpParseError:
-            break
-        length_text = prefix.header("Content-Length")
-        body_length = int(length_text) if length_text else 0
-        end = separator + 4 + body_length
-        if end > len(data):
-            break  # truncated trailing request
-        try:
-            request = HttpRequest.from_bytes(
-                data[position:end], scheme=scheme, timestamp=timestamp
+            method, target, version, headers, host, length_text = _parse_head(
+                data[position:separator]
             )
         except HttpParseError:
             break
-        requests.append(request)
+        body_length = int(length_text) if length_text else 0
+        end = separator + 4 + body_length
+        if end > stream_length:
+            break  # truncated trailing request
+        requests.append(
+            HttpRequest(
+                method=method,
+                url=parse_url(f"{scheme}://{host}{target}"),
+                headers=headers,
+                body=data[separator + 4 : end],
+                http_version=version,
+                timestamp=timestamp,
+            )
+        )
         position = end
     return requests
 

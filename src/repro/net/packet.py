@@ -5,23 +5,45 @@ payloads before HTTP extraction (paper §3.2).  The codecs here
 implement genuine wire formats, including the IPv4 header checksum and
 the TCP pseudo-header checksum, so the PCAP round-trip exercises a real
 parser rather than a shortcut.
+
+The decode path is zero-copy: every ``from_bytes`` accepts any
+buffer-protocol object (``bytes``, ``bytearray``, ``memoryview``) and
+returns *views* into it for payload slices, so a full PCAP decode
+copies each payload byte exactly once (into the TCP reassembly
+buffer).  All struct formats are precompiled at module level, the
+ones'-complement checksum keeps a per-length :class:`struct.Struct`
+table, and the MAC/IPv4 string codecs are memoized — addresses repeat
+constantly inside a capture, so rendering each distinct one once is
+enough.
 """
 
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import NamedTuple
 
 ETHERTYPE_IPV4 = 0x0800
 ETHERTYPE_IPV6 = 0x86DD
 IPPROTO_TCP = 6
 IPPROTO_UDP = 17
 
+# Precompiled wire formats — one compile per process, not per call.
+_U16 = struct.Struct("!H")
+_IPV4_HEADER = struct.Struct("!BBHHHBBH4s4s")
+_IPV6_FIXED = struct.Struct("!IHBB")
+_IPV6_GROUP = struct.Struct("!H")
+_TCP_HEADER = struct.Struct("!HHIIBBHHH")
+_TCP_PREFIX = struct.Struct("!HHII")
+_TCP_PSEUDO = struct.Struct("!BBH")
+
 
 class PacketError(ValueError):
     """Raised when bytes do not decode as the expected protocol layer."""
 
 
+@lru_cache(maxsize=65536)
 def ipv4_to_bytes(address: str) -> bytes:
     parts = address.split(".")
     if len(parts) != 4:
@@ -32,12 +54,14 @@ def ipv4_to_bytes(address: str) -> bytes:
         raise PacketError(f"bad IPv4 address {address!r}") from exc
 
 
+@lru_cache(maxsize=65536)
 def ipv4_to_str(raw: bytes) -> str:
     if len(raw) != 4:
         raise PacketError("IPv4 address must be 4 bytes")
     return ".".join(str(b) for b in raw)
 
 
+@lru_cache(maxsize=4096)
 def mac_to_bytes(mac: str) -> bytes:
     parts = mac.split(":")
     if len(parts) != 6:
@@ -45,21 +69,39 @@ def mac_to_bytes(mac: str) -> bytes:
     return bytes(int(p, 16) for p in parts)
 
 
+@lru_cache(maxsize=4096)
 def mac_to_str(raw: bytes) -> str:
     return ":".join(f"{b:02x}" for b in raw)
 
 
-def internet_checksum(data: bytes) -> int:
-    """RFC 1071 ones'-complement checksum.
+# struct formats for the checksum's one-call summation, keyed by the
+# number of 16-bit words.  ``struct``'s own internal format cache tops
+# out at ~100 entries and silently recompiles beyond that, which used
+# to cost a parse of ``"!{count}H"`` on *every* checksum over a
+# less-common length.
+_CHECKSUM_STRUCTS: dict[int, struct.Struct] = {}
 
-    Summation uses one C-level ``struct.unpack`` call; the carry fold
-    happens once at the end (deferred folding is arithmetically
-    equivalent and keeps full-scale corpus generation fast).
+
+def _checksum_struct(count: int) -> struct.Struct:
+    cached = _CHECKSUM_STRUCTS.get(count)
+    if cached is None:
+        cached = _CHECKSUM_STRUCTS[count] = struct.Struct(f"!{count}H")
+    return cached
+
+
+def internet_checksum(data) -> int:
+    """RFC 1071 ones'-complement checksum over any bytes-like buffer.
+
+    Summation uses one C-level ``struct.unpack`` call through a cached
+    per-length :class:`struct.Struct`; the carry fold happens once at
+    the end (deferred folding is arithmetically equivalent and keeps
+    full-scale corpus generation fast).
     """
-    if len(data) % 2:
-        data += b"\x00"
-    count = len(data) // 2
-    total = sum(struct.unpack(f"!{count}H", data))
+    length = len(data)
+    if length % 2:
+        data = bytes(data) + b"\x00"
+        length += 1
+    total = sum(_checksum_struct(length // 2).unpack(data))
     while total >> 16:
         total = (total & 0xFFFF) + (total >> 16)
     return (~total) & 0xFFFF
@@ -77,15 +119,15 @@ class EthernetHeader:
         return (
             mac_to_bytes(self.dst_mac)
             + mac_to_bytes(self.src_mac)
-            + struct.pack("!H", self.ethertype)
+            + _U16.pack(self.ethertype)
         )
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> tuple["EthernetHeader", bytes]:
+    def from_bytes(cls, data) -> tuple["EthernetHeader", "memoryview | bytes"]:
         if len(data) < cls.SIZE:
             raise PacketError("truncated Ethernet header")
-        dst, src = data[:6], data[6:12]
-        (ethertype,) = struct.unpack("!H", data[12:14])
+        dst, src = bytes(data[:6]), bytes(data[6:12])
+        (ethertype,) = _U16.unpack(data[12:14])
         return (
             cls(dst_mac=mac_to_str(dst), src_mac=mac_to_str(src), ethertype=ethertype),
             data[cls.SIZE :],
@@ -105,8 +147,7 @@ class Ipv4Header:
 
     def to_bytes(self, payload_length: int) -> bytes:
         total = self.total_length or (self.SIZE + payload_length)
-        header = struct.pack(
-            "!BBHHHBBH4s4s",
+        header = _IPV4_HEADER.pack(
             (4 << 4) | 5,  # version + IHL
             0,  # DSCP/ECN
             total,
@@ -119,10 +160,10 @@ class Ipv4Header:
             ipv4_to_bytes(self.dst),
         )
         checksum = internet_checksum(header)
-        return header[:10] + struct.pack("!H", checksum) + header[12:]
+        return header[:10] + _U16.pack(checksum) + header[12:]
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> tuple["Ipv4Header", bytes]:
+    def from_bytes(cls, data) -> tuple["Ipv4Header", "memoryview | bytes"]:
         if len(data) < cls.SIZE:
             raise PacketError("truncated IPv4 header")
         version_ihl = data[0]
@@ -131,15 +172,15 @@ class Ipv4Header:
         ihl = (version_ihl & 0x0F) * 4
         if ihl < cls.SIZE or len(data) < ihl:
             raise PacketError("bad IPv4 IHL")
-        (total_length,) = struct.unpack("!H", data[2:4])
-        (identification,) = struct.unpack("!H", data[4:6])
+        (total_length,) = _U16.unpack(data[2:4])
+        (identification,) = _U16.unpack(data[4:6])
         ttl = data[8]
         protocol = data[9]
         if internet_checksum(data[:ihl]) != 0:
             raise PacketError("IPv4 header checksum mismatch")
         header = cls(
-            src=ipv4_to_str(data[12:16]),
-            dst=ipv4_to_str(data[16:20]),
+            src=ipv4_to_str(bytes(data[12:16])),
+            dst=ipv4_to_str(bytes(data[16:20])),
             protocol=protocol,
             identification=identification,
             ttl=ttl,
@@ -165,7 +206,7 @@ def ipv6_to_bytes(address: str) -> bytes:
     if len(groups) != 8:
         raise PacketError(f"bad IPv6 address {address!r}")
     try:
-        return b"".join(struct.pack("!H", int(group or "0", 16)) for group in groups)
+        return b"".join(_IPV6_GROUP.pack(int(group or "0", 16)) for group in groups)
     except ValueError as exc:
         raise PacketError(f"bad IPv6 address {address!r}") from exc
 
@@ -195,25 +236,25 @@ class Ipv6Header:
             (6 << 28) | (self.traffic_class << 20) | (self.flow_label & 0xFFFFF)
         )
         return (
-            struct.pack(
-                "!IHBB", first_word, payload_length, self.next_header, self.hop_limit
+            _IPV6_FIXED.pack(
+                first_word, payload_length, self.next_header, self.hop_limit
             )
             + ipv6_to_bytes(self.src)
             + ipv6_to_bytes(self.dst)
         )
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> tuple["Ipv6Header", bytes]:
+    def from_bytes(cls, data) -> tuple["Ipv6Header", "memoryview | bytes"]:
         if len(data) < cls.SIZE:
             raise PacketError("truncated IPv6 header")
-        (first_word, payload_length, next_header, hop_limit) = struct.unpack(
-            "!IHBB", data[:8]
+        (first_word, payload_length, next_header, hop_limit) = _IPV6_FIXED.unpack(
+            data[:8]
         )
         if first_word >> 28 != 6:
             raise PacketError("not an IPv6 packet")
         header = cls(
-            src=ipv6_to_str(data[8:24]),
-            dst=ipv6_to_str(data[24:40]),
+            src=ipv6_to_str(bytes(data[8:24])),
+            dst=ipv6_to_str(bytes(data[24:40])),
             next_header=next_header,
             hop_limit=hop_limit,
             traffic_class=(first_word >> 20) & 0xFF,
@@ -239,8 +280,7 @@ class TcpHeader:
     FLAG_ACK = 0x10
 
     def to_bytes(self, payload: bytes, src_ip: str, dst_ip: str) -> bytes:
-        header = struct.pack(
-            "!HHIIBBHHH",
+        header = _TCP_HEADER.pack(
             self.src_port,
             self.dst_port,
             self.seq & 0xFFFFFFFF,
@@ -254,21 +294,21 @@ class TcpHeader:
         pseudo = (
             ipv4_to_bytes(src_ip)
             + ipv4_to_bytes(dst_ip)
-            + struct.pack("!BBH", 0, IPPROTO_TCP, len(header) + len(payload))
+            + _TCP_PSEUDO.pack(0, IPPROTO_TCP, len(header) + len(payload))
         )
         checksum = internet_checksum(pseudo + header + payload)
-        return header[:16] + struct.pack("!H", checksum) + header[18:] + payload
+        return header[:16] + _U16.pack(checksum) + header[18:] + payload
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> tuple["TcpHeader", bytes]:
+    def from_bytes(cls, data) -> tuple["TcpHeader", "memoryview | bytes"]:
         if len(data) < cls.SIZE:
             raise PacketError("truncated TCP header")
-        src_port, dst_port, seq, ack = struct.unpack("!HHII", data[:12])
+        src_port, dst_port, seq, ack = _TCP_PREFIX.unpack(data[:12])
         offset = (data[12] >> 4) * 4
         if offset < cls.SIZE or len(data) < offset:
             raise PacketError("bad TCP data offset")
         flags = data[13]
-        (window,) = struct.unpack("!H", data[14:16])
+        (window,) = _U16.unpack(data[14:16])
         header = cls(
             src_port=src_port,
             dst_port=dst_port,
@@ -280,23 +320,102 @@ class TcpHeader:
         return header, data[offset:]
 
 
+class TcpSegment(NamedTuple):
+    """The decode path's view of one TCP packet — just the fields flow
+    reassembly consumes, no per-layer header objects.
+
+    ``payload`` may be a zero-copy view into the capture buffer (same
+    lifetime rules as :class:`Frame.payload`).
+    """
+
+    timestamp: float
+    src_ip: str
+    src_port: int
+    dst_ip: str
+    dst_port: int
+    seq: int
+    flags: int
+    payload: "bytes | memoryview"
+
+    @property
+    def flow_key(self) -> tuple[str, int, str, int]:
+        return (self.src_ip, self.src_port, self.dst_ip, self.dst_port)
+
+
+def parse_tcp_segment(data, timestamp: float = 0.0) -> TcpSegment:
+    """Parse Ethernet/IPv4/TCP layers straight into a :class:`TcpSegment`.
+
+    Validates exactly what :meth:`Frame.from_bytes` validates — same
+    ethertype/version/IHL/checksum/offset rejections, same
+    :class:`PacketError` — but skips building the three header
+    dataclasses, which dominates per-packet decode cost.  The slower
+    :class:`Frame` API remains the general-purpose decoder (and the
+    eager/streaming parity tests hold the two to identical results).
+    """
+    # Ethernet II
+    if len(data) < 14:
+        raise PacketError("truncated Ethernet header")
+    (ethertype,) = _U16.unpack(data[12:14])
+    if ethertype != ETHERTYPE_IPV4:
+        raise PacketError(f"unsupported ethertype 0x{ethertype:04x}")
+    ip = data[14:]
+    # IPv4
+    if len(ip) < Ipv4Header.SIZE:
+        raise PacketError("truncated IPv4 header")
+    version_ihl = ip[0]
+    if version_ihl >> 4 != 4:
+        raise PacketError("not an IPv4 packet")
+    ihl = (version_ihl & 0x0F) * 4
+    if ihl < Ipv4Header.SIZE or len(ip) < ihl:
+        raise PacketError("bad IPv4 IHL")
+    if ip[9] != IPPROTO_TCP:
+        raise PacketError(f"unsupported IP protocol {ip[9]}")
+    if internet_checksum(ip[:ihl]) != 0:
+        raise PacketError("IPv4 header checksum mismatch")
+    (total_length,) = _U16.unpack(ip[2:4])
+    tcp = ip[ihl:total_length]
+    # TCP
+    if len(tcp) < TcpHeader.SIZE:
+        raise PacketError("truncated TCP header")
+    src_port, dst_port, seq, _ack = _TCP_PREFIX.unpack(tcp[:12])
+    offset = (tcp[12] >> 4) * 4
+    if offset < TcpHeader.SIZE or len(tcp) < offset:
+        raise PacketError("bad TCP data offset")
+    return TcpSegment(
+        timestamp=timestamp,
+        src_ip=ipv4_to_str(bytes(ip[12:16])),
+        src_port=src_port,
+        dst_ip=ipv4_to_str(bytes(ip[16:20])),
+        dst_port=dst_port,
+        seq=seq,
+        flags=tcp[13],
+        payload=tcp[offset:],
+    )
+
+
 @dataclass
 class Frame:
-    """One captured packet, decoded layer by layer."""
+    """One captured packet, decoded layer by layer.
+
+    When decoded from a buffer, ``payload`` is a zero-copy view into
+    it; the view stays valid only while the backing buffer does (for
+    mmap-backed reads, until the :class:`repro.net.pcap.PcapReader` is
+    closed).  Consumers that outlive the buffer must take ``bytes()``.
+    """
 
     timestamp: float
     eth: EthernetHeader
     ip: Ipv4Header
     tcp: TcpHeader
-    payload: bytes = b""
+    payload: "bytes | memoryview" = b""
 
     def to_bytes(self) -> bytes:
-        tcp_bytes = self.tcp.to_bytes(self.payload, self.ip.src, self.ip.dst)
+        tcp_bytes = self.tcp.to_bytes(bytes(self.payload), self.ip.src, self.ip.dst)
         ip_bytes = self.ip.to_bytes(len(tcp_bytes)) + tcp_bytes
         return self.eth.to_bytes() + ip_bytes
 
     @classmethod
-    def from_bytes(cls, data: bytes, timestamp: float = 0.0) -> "Frame":
+    def from_bytes(cls, data, timestamp: float = 0.0) -> "Frame":
         eth, rest = EthernetHeader.from_bytes(data)
         if eth.ethertype != ETHERTYPE_IPV4:
             raise PacketError(f"unsupported ethertype 0x{eth.ethertype:04x}")

@@ -4,24 +4,168 @@ Implements the classic pcap file format (magic ``0xa1b2c3d4``,
 microsecond timestamps, LINKTYPE_ETHERNET) that PCAPdroid produces.
 Both byte orders are read; files are written little-endian like
 tcpdump on Android.
+
+Two read APIs share one record walker:
+
+* :class:`PcapReader` — the streaming, zero-copy path.  It walks a
+  single ``memoryview`` over the caller's buffer (or an ``mmap`` of an
+  on-disk file via :meth:`PcapReader.open`) and yields
+  :class:`PcapRecord` views; no packet bytes are copied.  This is what
+  the decode pipeline uses.
+* :class:`PcapFile` — the eager in-memory model (list of owned
+  :class:`PcapPacket` records).  It remains the writer and the
+  convenient API for tests and tools; ``from_bytes`` is now a thin
+  materialization of the streaming walk.
 """
 
 from __future__ import annotations
 
+import mmap
 import struct
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Iterator, NamedTuple
 
 MAGIC_LE = 0xA1B2C3D4
 LINKTYPE_ETHERNET = 1
 _GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_GLOBAL_HEADER_BE = struct.Struct(">IHHiIII")
 _RECORD_HEADER_LE = struct.Struct("<IIII")
 _RECORD_HEADER_BE = struct.Struct(">IIII")
+_MAGIC_PREFIX = struct.Struct("<I")
 SNAPLEN = 262144
+
+# magic -> (global-header struct, record struct, nanosecond timestamps)
+_FORMATS = {
+    0xA1B2C3D4: (_GLOBAL_HEADER, _RECORD_HEADER_LE, False),
+    0xD4C3B2A1: (_GLOBAL_HEADER_BE, _RECORD_HEADER_BE, False),
+    0xA1B23C4D: (_GLOBAL_HEADER, _RECORD_HEADER_LE, True),
+    0x4D3CB2A1: (_GLOBAL_HEADER_BE, _RECORD_HEADER_BE, True),
+}
 
 
 class PcapError(ValueError):
     """Raised on malformed pcap files."""
+
+
+class PcapRecord(NamedTuple):
+    """One streamed capture record; ``data`` is a zero-copy view.
+
+    The view borrows the reader's buffer: it stays valid until the
+    reader is closed (mmap-backed readers), so consumers that keep
+    payloads around must take ``bytes(record.data)``.
+    """
+
+    timestamp: float
+    data: memoryview
+    orig_len: int
+
+
+class PcapReader:
+    """Streaming zero-copy pcap reader over one contiguous buffer.
+
+    The global header is validated eagerly (construction fails on a
+    truncated or alien file); records are only walked — and only
+    validated — as :meth:`iter_packets` advances.  Works as a context
+    manager; closing releases the underlying ``mmap`` when the reader
+    was opened from a path.
+    """
+
+    def __init__(self, buffer) -> None:
+        view = memoryview(buffer)
+        try:
+            if len(view) < _GLOBAL_HEADER.size:
+                raise PcapError("file shorter than global header")
+            (magic,) = _MAGIC_PREFIX.unpack(view[:4])
+            try:
+                header_struct, record_struct, nanos = _FORMATS[magic]
+            except KeyError:
+                raise PcapError(f"bad magic 0x{magic:08x}") from None
+            (_, major, minor, _tz, _sig, snaplen, linktype) = header_struct.unpack(
+                view[: header_struct.size]
+            )
+            if (major, minor) != (2, 4):
+                raise PcapError(f"unsupported pcap version {major}.{minor}")
+        except Exception:
+            # Release the export eagerly so a caller-owned mmap can be
+            # closed even while this traceback is still referenced.
+            view.release()
+            raise
+        self._view = view
+        self._mmap: mmap.mmap | None = None
+        self._file = None
+        self._record_struct = record_struct
+        self.snaplen = snaplen
+        self.linktype = linktype
+        self._divisor = 1_000_000_000 if nanos else 1_000_000
+        self._header_size = header_struct.size
+
+    @classmethod
+    def open(cls, path: str | Path) -> "PcapReader":
+        """Memory-map an on-disk capture; no bytes are read up front."""
+        handle = open(path, "rb")
+        try:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except ValueError as exc:  # zero-length file cannot be mapped
+            handle.close()
+            raise PcapError(f"file shorter than global header: {path}") from exc
+        except OSError:
+            handle.close()
+            raise
+        try:
+            reader = cls(mapped)
+        except BaseException:
+            mapped.close()
+            handle.close()
+            raise
+        reader._mmap = mapped
+        reader._file = handle
+        return reader
+
+    def iter_packets(self) -> Iterator[PcapRecord]:
+        """Yield each record as a :class:`PcapRecord` view, in order."""
+        view = self._view
+        record = self._record_struct
+        record_size = record.size
+        divisor = self._divisor
+        position = self._header_size
+        end = len(view)
+        while position < end:
+            if position + record_size > end:
+                raise PcapError("truncated record header")
+            seconds, fraction, caplen, orig_len = record.unpack(
+                view[position : position + record_size]
+            )
+            position += record_size
+            if position + caplen > end:
+                raise PcapError("truncated record body")
+            yield PcapRecord(
+                timestamp=seconds + fraction / divisor,
+                data=view[position : position + caplen],
+                orig_len=orig_len,
+            )
+            position += caplen
+
+    def close(self) -> None:
+        self._view.release()
+        if self._mmap is not None:
+            try:
+                self._mmap.close()
+            except BufferError:
+                # Record views are still alive (e.g. held by an
+                # in-flight traceback after a truncated-record error);
+                # the mapping is reclaimed when they are collected.
+                pass
+            self._mmap = None
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "PcapReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 @dataclass(frozen=True)
@@ -69,48 +213,19 @@ class PcapFile:
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "PcapFile":
-        if len(blob) < _GLOBAL_HEADER.size:
-            raise PcapError("file shorter than global header")
-        (magic,) = struct.unpack("<I", blob[:4])
-        if magic == MAGIC_LE:
-            byte_order, nanos = "<", False
-        elif magic == 0xD4C3B2A1:
-            byte_order, nanos = ">", False
-        elif magic == 0xA1B23C4D:
-            byte_order, nanos = "<", True
-        elif magic == 0x4D3CB2A1:
-            byte_order, nanos = ">", True
-        else:
-            raise PcapError(f"bad magic 0x{magic:08x}")
-        header = struct.Struct(byte_order + "IHHiIII")
-        (_, major, minor, _tz, _sig, snaplen, linktype) = header.unpack(
-            blob[: header.size]
-        )
-        if (major, minor) != (2, 4):
-            raise PcapError(f"unsupported pcap version {major}.{minor}")
-        pcap = cls(linktype=linktype, snaplen=snaplen)
-        record = _RECORD_HEADER_LE if byte_order == "<" else _RECORD_HEADER_BE
-        position = header.size
-        divisor = 1_000_000_000 if nanos else 1_000_000
-        while position < len(blob):
-            if position + record.size > len(blob):
-                raise PcapError("truncated record header")
-            seconds, fraction, caplen, orig_len = record.unpack(
-                blob[position : position + record.size]
-            )
-            position += record.size
-            if position + caplen > len(blob):
-                raise PcapError("truncated record body")
-            data = blob[position : position + caplen]
-            position += caplen
-            pcap.packets.append(
+        reader = PcapReader(blob)
+        return cls(
+            packets=[
                 PcapPacket(
-                    timestamp=seconds + fraction / divisor,
-                    data=data,
-                    orig_len=orig_len,
+                    timestamp=record.timestamp,
+                    data=bytes(record.data),
+                    orig_len=record.orig_len,
                 )
-            )
-        return pcap
+                for record in reader.iter_packets()
+            ],
+            linktype=reader.linktype,
+            snaplen=reader.snaplen,
+        )
 
     def write(self, path: str | Path) -> None:
         Path(path).write_bytes(self.to_bytes())

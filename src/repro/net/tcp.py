@@ -15,6 +15,7 @@ from repro.net.packet import (
     Frame,
     Ipv4Header,
     TcpHeader,
+    TcpSegment,
 )
 
 DEFAULT_MSS = 1400
@@ -116,7 +117,10 @@ def segment_request(
 @dataclass
 class _FlowState:
     isn: int | None = None
-    segments: dict[int, bytes] = field(default_factory=dict)  # seq -> data
+    # seq -> payload; values may be zero-copy views into the capture
+    # buffer (they are copied exactly once, into the reassembly
+    # bytearray, when the flow is assembled).
+    segments: dict[int, "bytes | memoryview"] = field(default_factory=dict)
     first_timestamp: float = 0.0
     finished: bool = False
 
@@ -145,23 +149,41 @@ class TcpReassembler:
         self._flows: dict[FlowId, _FlowState] = {}
 
     def add_frame(self, frame: Frame) -> None:
+        """Feed one fully decoded :class:`Frame` (general-purpose API)."""
+        self.add_segment(
+            TcpSegment(
+                timestamp=frame.timestamp,
+                src_ip=frame.ip.src,
+                src_port=frame.tcp.src_port,
+                dst_ip=frame.ip.dst,
+                dst_port=frame.tcp.dst_port,
+                seq=frame.tcp.seq,
+                flags=frame.tcp.flags,
+                payload=frame.payload,
+            )
+        )
+
+    def add_segment(self, segment: TcpSegment) -> None:
+        """Feed one decode-path :class:`TcpSegment` (the hot path)."""
         flow = FlowId(
-            client_ip=frame.ip.src,
-            client_port=frame.tcp.src_port,
-            server_ip=frame.ip.dst,
-            server_port=frame.tcp.dst_port,
+            client_ip=segment.src_ip,
+            client_port=segment.src_port,
+            server_ip=segment.dst_ip,
+            server_port=segment.dst_port,
         )
         state = self._flows.setdefault(flow, _FlowState())
         if not state.segments and state.isn is None:
-            state.first_timestamp = frame.timestamp
-        state.first_timestamp = min(state.first_timestamp or frame.timestamp, frame.timestamp)
-        if frame.tcp.flags & TcpHeader.FLAG_SYN:
-            state.isn = frame.tcp.seq
+            state.first_timestamp = segment.timestamp
+        state.first_timestamp = min(
+            state.first_timestamp or segment.timestamp, segment.timestamp
+        )
+        if segment.flags & TcpHeader.FLAG_SYN:
+            state.isn = segment.seq
             return
-        if frame.tcp.flags & TcpHeader.FLAG_FIN:
+        if segment.flags & TcpHeader.FLAG_FIN:
             state.finished = True
-        if frame.payload:
-            state.segments.setdefault(frame.tcp.seq, frame.payload)
+        if segment.payload:
+            state.segments.setdefault(segment.seq, segment.payload)
 
     def flows(self) -> list[ReassembledFlow]:
         """Reassemble every tracked flow in first-seen order."""
@@ -180,10 +202,17 @@ class TcpReassembler:
 
     @staticmethod
     def _assemble(state: _FlowState) -> tuple[bytes, bool]:
+        """Stitch segments into one buffer — O(n) in the stream length.
+
+        Payloads append to a single preallocation-friendly
+        ``bytearray`` (amortized-linear growth), so reassembling a
+        flow never re-copies previously appended bytes the way
+        repeated ``bytes`` concatenation would.
+        """
         if not state.segments:
             return b"", state.finished
         expected = state.isn + 1 if state.isn is not None else min(state.segments)
-        chunks: list[bytes] = []
+        buffer = bytearray()
         complete = True
         for seq in sorted(state.segments):
             data = state.segments[seq]
@@ -195,9 +224,9 @@ class TcpReassembler:
                     continue  # full duplicate
                 data = data[overlap:]
                 seq = expected
-            chunks.append(data)
+            buffer += data
             expected = seq + len(data)
-        return b"".join(chunks), complete and state.finished
+        return bytes(buffer), complete and state.finished
 
     def __len__(self) -> int:
         return len(self._flows)

@@ -27,25 +27,46 @@ RECORD_TYPE_APPDATA = 23
 RECORD_VERSION = 0x0303
 MAX_RECORD_LEN = 16384
 
+_RECORD_HEADER = struct.Struct("!BHH")
+_U64 = struct.Struct("!Q")
+_U16 = struct.Struct("!H")
+
 
 class TlsError(ValueError):
     """Raised on malformed records or missing key material."""
 
 
 def _keystream(secret: bytes, client_random: bytes, length: int) -> bytes:
-    """Deterministic keystream: SHA-256(secret || random || counter)."""
-    blocks: list[bytes] = []
+    """Deterministic keystream: SHA-256(secret || random || counter).
+
+    Blocks accumulate into one preallocated ``bytearray`` (O(n), no
+    per-block length rescans), but the derivation itself is frozen —
+    it defines the bytes of every archived capture.
+    """
+    out = bytearray()
+    base = hashlib.sha256(secret + client_random)
     counter = 0
-    while sum(len(b) for b in blocks) < length:
-        blocks.append(
-            hashlib.sha256(secret + client_random + struct.pack("!Q", counter)).digest()
-        )
+    while len(out) < length:
+        # digest(prefix || counter) via one cloned running hash: the
+        # shared 64-byte prefix is compressed once per call, not once
+        # per 32-byte block.
+        block = base.copy()
+        block.update(_U64.pack(counter))
+        out += block.digest()
         counter += 1
-    return b"".join(blocks)[:length]
+    return bytes(out[:length])
 
 
-def _xor(data: bytes, keystream: bytes) -> bytes:
-    return bytes(a ^ b for a, b in zip(data, keystream))
+def _xor(data, keystream: bytes) -> bytes:
+    """XOR two equal-length byte strings via one big-int operation.
+
+    ~100x faster than a per-byte Python loop and accepts any
+    bytes-like ``data`` (the decode path hands in memoryviews).
+    """
+    length = len(data)
+    return (
+        int.from_bytes(data, "big") ^ int.from_bytes(keystream, "big")
+    ).to_bytes(length, "big")
 
 
 @dataclass(frozen=True)
@@ -69,65 +90,71 @@ class TlsSession:
 
 def encrypt_stream(plaintext: bytes, session: TlsSession) -> bytes:
     """Wrap plaintext into encrypted TLS application-data records."""
-    records: list[bytes] = []
+    out = bytearray()
     offset = 0
     for start in range(0, len(plaintext), MAX_RECORD_LEN):
         chunk = plaintext[start : start + MAX_RECORD_LEN]
         keystream = _keystream(
-            session.secret, session.client_random + struct.pack("!Q", offset), len(chunk)
+            session.secret, session.client_random + _U64.pack(offset), len(chunk)
         )
         ciphertext = _xor(chunk, keystream)
-        records.append(
-            struct.pack("!BHH", RECORD_TYPE_APPDATA, RECORD_VERSION, len(ciphertext))
-            + ciphertext
-        )
+        out += _RECORD_HEADER.pack(RECORD_TYPE_APPDATA, RECORD_VERSION, len(ciphertext))
+        out += ciphertext
         offset += 1
-    return b"".join(records)
+    return bytes(out)
 
 
-def iter_records(stream: bytes):
-    """Yield (record_type, body) for each TLS record in a byte stream."""
+def iter_records(stream):
+    """Yield (record_type, body) for each TLS record in a byte stream.
+
+    Accepts any bytes-like object; with a ``memoryview`` input, each
+    ``body`` is a zero-copy view into it.
+    """
     position = 0
-    while position < len(stream):
-        if position + 5 > len(stream):
+    end = len(stream)
+    while position < end:
+        if position + 5 > end:
             raise TlsError("truncated TLS record header")
-        record_type, version, length = struct.unpack(
-            "!BHH", stream[position : position + 5]
+        record_type, version, length = _RECORD_HEADER.unpack(
+            stream[position : position + 5]
         )
         if version != RECORD_VERSION:
             raise TlsError(f"unexpected TLS version 0x{version:04x}")
-        body = stream[position + 5 : position + 5 + length]
-        if len(body) != length:
+        if position + 5 + length > end:
             raise TlsError("truncated TLS record body")
-        yield record_type, body
+        yield record_type, stream[position + 5 : position + 5 + length]
         position += 5 + length
 
 
-def decrypt_stream(stream: bytes, session: TlsSession) -> bytes:
-    """Recover plaintext from records given the session's secret."""
-    chunks: list[bytes] = []
+def decrypt_stream(stream, session: TlsSession) -> bytes:
+    """Recover plaintext from records given the session's secret.
+
+    Plaintext accumulates into one ``bytearray`` — O(n) in the stream
+    length, however many records it framed.
+    """
+    out = bytearray()
     for offset, (record_type, body) in enumerate(iter_records(stream)):
         if record_type != RECORD_TYPE_APPDATA:
             continue
         keystream = _keystream(
-            session.secret, session.client_random + struct.pack("!Q", offset), len(body)
+            session.secret, session.client_random + _U64.pack(offset), len(body)
         )
-        chunks.append(_xor(body, keystream))
-    return b"".join(chunks)
+        out += _xor(body, keystream)
+    return bytes(out)
 
 
-def looks_like_tls(stream: bytes) -> bool:
+def looks_like_tls(stream) -> bool:
     """Cheap sniff used by the post-processor to route flows.
 
     Matches either a pseudo-ClientHello (``16 03`` handshake magic) or
     a bare application-data record stream.
     """
-    if len(stream) >= 2 and stream[:2] == b"\x16\x03":
+    if len(stream) >= 2 and bytes(stream[:2]) == b"\x16\x03":
         return True
     return (
         len(stream) >= 5
         and stream[0] == RECORD_TYPE_APPDATA
-        and struct.unpack("!H", stream[1:3])[0] == RECORD_VERSION
+        and _U16.unpack(stream[1:3])[0] == RECORD_VERSION
     )
 
 
@@ -201,19 +228,23 @@ def wrap_with_hello(stream: bytes, session: TlsSession, sni: str) -> bytes:
     return (
         b"\x16\x03"
         + session.client_random
-        + struct.pack("!H", len(sni_bytes))
+        + _U16.pack(len(sni_bytes))
         + sni_bytes
         + stream
     )
 
 
-def unwrap_hello(stream: bytes) -> tuple[ClientHello | None, bytes]:
-    """Split off the pseudo-ClientHello; returns (hello, records)."""
-    if len(stream) < 36 or stream[:2] != b"\x16\x03":
+def unwrap_hello(stream) -> tuple[ClientHello | None, "bytes | memoryview"]:
+    """Split off the pseudo-ClientHello; returns (hello, records).
+
+    Accepts any bytes-like stream; the returned record stream is a
+    zero-copy slice of it.
+    """
+    if len(stream) < 36 or bytes(stream[:2]) != b"\x16\x03":
         return None, stream
-    client_random = stream[2:34]
-    (sni_length,) = struct.unpack("!H", stream[34:36])
+    client_random = bytes(stream[2:34])
+    (sni_length,) = _U16.unpack(stream[34:36])
     if len(stream) < 36 + sni_length:
         raise TlsError("truncated ClientHello SNI")
-    sni = stream[36 : 36 + sni_length].decode("idna") if sni_length else ""
+    sni = bytes(stream[36 : 36 + sni_length]).decode("idna") if sni_length else ""
     return ClientHello(client_random=client_random, sni=sni), stream[36 + sni_length :]

@@ -58,15 +58,18 @@ def parsed_trace_from_har(meta: TraceMeta, har: Har) -> ParsedTrace:
 
 
 def parsed_trace_from_mobile(
-    meta: TraceMeta, pcap_bytes: bytes, keylog_text: str
+    meta: TraceMeta, pcap_source, keylog_text: str
 ) -> ParsedTrace:
     """Decrypt and parse a PCAP + key-log pair into one trace unit.
 
     Shared by the in-memory round trip and the artifact replay path.
-    An empty key log is valid: every TLS flow then surfaces as an
-    opaque contact, the way fully pinned traffic does.
+    ``pcap_source`` is anything :func:`decrypt_mobile_artifact`
+    accepts — raw bytes (streamed zero-copy) or a filesystem path
+    (memory-mapped, so replay never reads whole captures into Python
+    byte strings).  An empty key log is valid: every TLS flow then
+    surfaces as an opaque contact, the way fully pinned traffic does.
     """
-    decryption = decrypt_mobile_artifact(pcap_bytes, keylog_text)
+    decryption = decrypt_mobile_artifact(pcap_source, keylog_text)
     return ParsedTrace(
         meta=meta,
         requests=[item.request for item in decryption.requests],
@@ -88,6 +91,11 @@ class CorpusProcessor:
 
     config: CorpusConfig = field(default_factory=CorpusConfig)
     artifacts_dir: Path | None = None
+    # Contiguous [start, stop) slice of each configured service's trace
+    # units (the engine's sub-shard unit); None processes everything.
+    # Skipped units still advance cross-unit generator state, so a
+    # sliced run's traces are byte-identical to a whole run's.
+    unit_range: tuple[int, int] | None = None
 
     def __post_init__(self) -> None:
         self.generator = TrafficGenerator(self.config)
@@ -127,5 +135,5 @@ class CorpusProcessor:
         return self._process_web(trace)
 
     def __iter__(self) -> Iterator[ParsedTrace]:
-        for trace in self.generator.generate_corpus():
+        for trace in self.generator.generate_corpus(unit_range=self.unit_range):
             yield self.process_trace(trace)

@@ -18,8 +18,22 @@ another's state.  The engine exploits that:
 Executors decide *where* stage 2 runs: :class:`SequentialExecutor`
 in-process (deterministic fallback, zero overhead), or
 :class:`ProcessPoolShardExecutor` across worker processes
-(``--jobs N``).  ``ProcessPoolExecutor.map`` preserves input order, so
-both paths merge identically.
+(``--jobs N``).
+
+Parallel scheduling is size-balanced: per-service shards are badly
+cost-skewed (a heavy service can cost more than the rest of the corpus
+combined), so the engine estimates every shard's cost — trace-unit
+packet volume for generated corpora, artifact byte sizes for replayed
+ones — splits oversized service shards into contiguous sub-shards of
+trace units (:func:`split_shard_tasks`), and submits the lot to the
+pool unordered, largest first (LPT).  Results are reassembled into the
+canonical service/unit order before merging, so sequential and
+parallel runs stay byte-identical no matter how workers were
+scheduled.  Splitting is safe because a skipped trace unit still
+advances cross-unit generator state (see
+:meth:`repro.services.generator.TrafficGenerator.generate_service`),
+making every sub-shard's traffic identical to its slice of a whole-
+service run.
 
 With ``cache_dir`` set, classifications additionally persist in a
 process-safe SQLite store (:mod:`repro.datatypes.store`) shared by
@@ -30,8 +44,10 @@ classifier, and results stay byte-identical either way.
 
 from __future__ import annotations
 
+import dataclasses
+import math
 import sys
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Protocol
@@ -72,6 +88,12 @@ class ShardTask:
     With ``replay_units`` set, the shard's traces come from artifact
     files on disk instead of the in-memory generate → capture → parse
     loop; everything downstream of trace parsing is identical.
+
+    A task may cover the whole service (``unit_range is None``,
+    ``part == 0``) or one contiguous sub-shard of its trace units —
+    the scheduler splits oversized services so worker wall time
+    balances.  ``estimated_cost`` is the scheduler's relative cost
+    guess, used only for splitting and largest-first submission.
     """
 
     service: str
@@ -82,6 +104,9 @@ class ShardTask:
     blocklists: BlockListCollection
     artifacts_dir: Path | None = None
     replay_units: tuple[TraceUnit, ...] | None = None
+    unit_range: tuple[int, int] | None = None  # [start, stop) trace units
+    part: int = 0  # sub-shard index within the service (canonical order)
+    estimated_cost: float = 0.0
 
 
 @dataclass
@@ -132,7 +157,11 @@ def shard_trace_source(task: ShardTask) -> "Iterable[ParsedTrace]":
     capture → parse loop otherwise.  Both stream one trace at a time."""
     if task.replay_units is not None:
         return (load_parsed_trace(unit) for unit in task.replay_units)
-    return CorpusProcessor(config=task.config, artifacts_dir=task.artifacts_dir)
+    return CorpusProcessor(
+        config=task.config,
+        artifacts_dir=task.artifacts_dir,
+        unit_range=task.unit_range,
+    )
 
 
 def process_shard(task: ShardTask) -> ShardResult:
@@ -217,12 +246,165 @@ def process_shard(task: ShardTask) -> ShardResult:
     )
 
 
-def _generate_shard(shard: tuple[CorpusConfig, Path | None]) -> list[dict]:
-    """Generate + capture one service's artifacts, skipping analysis.
+# ----------------------------------------------------------------------
+# Size-balanced scheduling
+# ----------------------------------------------------------------------
+
+# How many cost chunks to aim for per worker.  >1 keeps the pool busy
+# when estimates are imperfect: a worker that finishes a light chunk
+# early picks up another instead of idling behind the heavy one.
+_CHUNKS_PER_WORKER = 2
+
+
+def _replay_unit_cost(unit: TraceUnit) -> float:
+    """A replayed unit's cost estimate: bytes of artifact to decode."""
+    cost = 0.0
+    for path in (unit.har, unit.pcap, unit.keylog):
+        if path is not None:
+            try:
+                cost += path.stat().st_size
+            except OSError:
+                pass  # vanished artifacts fail later, with a real error
+    return cost
+
+
+def shard_unit_costs(task: ShardTask) -> list[float]:
+    """Per-trace-unit cost estimates for one service's shard task."""
+    if task.replay_units is not None:
+        return [_replay_unit_cost(unit) for unit in task.replay_units]
+    from repro.services.generator import estimate_unit_costs
+
+    (spec,) = [s for s in task.config.service_specs() if s.key == task.service]
+    return estimate_unit_costs(task.config, spec)
+
+
+def partition_costs(costs: list[float], parts: int) -> list[tuple[int, int]]:
+    """Split indexes 0..len(costs) into ≤ ``parts`` contiguous ranges
+    of near-equal estimated cost (every range non-empty, order kept)."""
+    parts = max(1, min(parts, len(costs)))
+    total = sum(costs)
+    if parts == 1 or total <= 0:
+        return [(0, len(costs))]
+    ranges: list[tuple[int, int]] = []
+    start = 0
+    cumulative = 0.0
+    cut = 1
+    for index, cost in enumerate(costs):
+        cumulative += cost
+        remaining_units = len(costs) - (index + 1)
+        if cut < parts and remaining_units >= parts - cut and (
+            # this range reached its share of the total cost, or
+            cumulative >= cut * total / parts
+            # exactly enough units remain to keep later ranges non-empty
+            or remaining_units == parts - cut
+        ):
+            ranges.append((start, index + 1))
+            start = index + 1
+            cut += 1
+    ranges.append((start, len(costs)))
+    return ranges
+
+
+def balanced_split_plan(
+    per_item_costs: list[list[float]], jobs: int
+) -> list[list[tuple[int, int, float]]]:
+    """For each work item, the ``(start, stop, cost)`` sub-ranges to run.
+
+    Every item whose estimated cost exceeds its fair chunk of the
+    total (total cost over ``jobs * _CHUNKS_PER_WORKER``) is split
+    into contiguous unit ranges of near-equal cost; the rest stay
+    whole.  Plans preserve input order, so flattening them yields the
+    canonical merge order.
+    """
+    total = sum(sum(costs) for costs in per_item_costs)
+    chunk = total / (jobs * _CHUNKS_PER_WORKER) if total > 0 and jobs > 1 else 0.0
+    plans: list[list[tuple[int, int, float]]] = []
+    for costs in per_item_costs:
+        item_cost = sum(costs)
+        parts = min(len(costs), math.ceil(item_cost / chunk)) if chunk > 0 else 1
+        if parts <= 1:
+            plans.append([(0, len(costs), item_cost)])
+            continue
+        plans.append(
+            [
+                (start, stop, sum(costs[start:stop]))
+                for start, stop in partition_costs(costs, parts)
+            ]
+        )
+    return plans
+
+
+def _apply_split_plans(
+    items: list, per_item_costs: list[list[float]], jobs: int, make_sub: Callable
+) -> list:
+    """Turn work items into their planned sub-items, canonical order.
+
+    The one place the split policy is applied — audit shards and
+    generate shards both go through here, so the two commands can
+    never schedule differently.  ``make_sub(item, part, start, stop,
+    cost)`` builds one sub-item; unsplit items just get their cost
+    stamped.
+    """
+    out: list = []
+    for item, plan in zip(items, balanced_split_plan(per_item_costs, jobs)):
+        if len(plan) == 1:
+            out.append(dataclasses.replace(item, estimated_cost=plan[0][2]))
+            continue
+        for part, (start, stop, cost) in enumerate(plan):
+            out.append(make_sub(item, part, start, stop, cost))
+    return out
+
+
+def _shard_sub_task(
+    task: ShardTask, part: int, start: int, stop: int, cost: float
+) -> ShardTask:
+    """One sub-shard: replay tasks carry their unit slice directly,
+    generated tasks carry the ``unit_range`` the processor slices by."""
+    return dataclasses.replace(
+        task,
+        part=part,
+        unit_range=None if task.replay_units is not None else (start, stop),
+        replay_units=(
+            task.replay_units[start:stop] if task.replay_units is not None else None
+        ),
+        estimated_cost=cost,
+    )
+
+
+def split_shard_tasks(tasks: list[ShardTask], jobs: int) -> list[ShardTask]:
+    """Split cost-skewed service shards into balanced sub-shards.
+
+    The returned list is in canonical order — service-spec order,
+    then unit order — which is the order results must merge in;
+    executors are free to *run* it in any order.
+    """
+    if jobs <= 1:
+        return tasks
+    per_task_costs = [shard_unit_costs(task) for task in tasks]
+    return _apply_split_plans(tasks, per_task_costs, jobs, _shard_sub_task)
+
+
+@dataclass
+class GenerateShard:
+    """One generate-only work item (whole service or a unit slice)."""
+
+    service: str
+    config: CorpusConfig  # already restricted to this one service
+    artifacts_dir: Path | None
+    unit_range: tuple[int, int] | None = None
+    part: int = 0
+    estimated_cost: float = 0.0
+
+
+def _generate_shard(shard: GenerateShard) -> list[dict]:
+    """Generate + capture one shard's artifacts, skipping analysis.
 
     Returns one manifest record per trace, in generation order."""
-    config, artifacts_dir = shard
-    processor = CorpusProcessor(config=config, artifacts_dir=artifacts_dir)
+    processor = CorpusProcessor(
+        config=shard.config,
+        artifacts_dir=shard.artifacts_dir,
+        unit_range=shard.unit_range,
+    )
     return [trace_record(parsed.meta) for parsed in processor]
 
 
@@ -231,22 +413,43 @@ def generate_corpus_artifacts(
 ) -> int:
     """Write every trace artifact plus a manifest; returns the trace count.
 
-    The generate-only sibling of :meth:`AuditEngine.run`: shards the
-    same way but stops after capture — no classification, labeling or
-    flow building — since ``python -m repro generate`` discards those.
-    ``manifest.json`` records the corpus config and per-trace metadata
-    in generation order, so ``audit --from-artifacts`` can replay the
-    directory without re-deriving anything from filenames.
+    The generate-only sibling of :meth:`AuditEngine.run`: shards (and
+    size-balances) the same way but stops after capture — no
+    classification, labeling or flow building — since ``python -m
+    repro generate`` discards those.  ``manifest.json`` records the
+    corpus config and per-trace metadata in generation order, so
+    ``audit --from-artifacts`` can replay the directory without
+    re-deriving anything from filenames.
     """
+    from repro.services.generator import estimate_unit_costs
+
     executor = executor_for(jobs)
     existing = read_manifest(artifacts_dir) if artifacts_dir is not None else None
     if existing is not None:
         # Fail fast on mismatched corpus knobs before writing anything.
         merge_manifest_traces(existing, config, [])
+    specs = config.service_specs()
     shards = [
-        (config.for_service(spec.key), artifacts_dir)
-        for spec in config.service_specs()
+        GenerateShard(
+            service=spec.key,
+            config=config.for_service(spec.key),
+            artifacts_dir=artifacts_dir,
+        )
+        for spec in specs
     ]
+    if jobs > 1:
+        per_shard_costs = [
+            estimate_unit_costs(shard.config, spec)
+            for shard, spec in zip(shards, specs)
+        ]
+        shards = _apply_split_plans(
+            shards,
+            per_shard_costs,
+            jobs,
+            lambda shard, part, start, stop, cost: dataclasses.replace(
+                shard, part=part, unit_range=(start, stop), estimated_cost=cost
+            ),
+        )
     records = [
         record
         for shard_records in executor.map_shards(shards, work=_generate_shard)
@@ -292,8 +495,11 @@ class SequentialExecutor:
 class ProcessPoolShardExecutor:
     """Shard execution across worker processes.
 
-    ``ProcessPoolExecutor.map`` yields results in submission order, so
-    the merge downstream is independent of worker scheduling.
+    Tasks are *submitted* unordered — largest estimated cost first
+    (LPT scheduling, the classic makespan heuristic) — and collected
+    as they complete, but the returned list is always in the input
+    tasks' order: the caller's canonical merge order never depends on
+    worker scheduling.
     """
 
     jobs: int = 2
@@ -302,8 +508,17 @@ class ProcessPoolShardExecutor:
         if len(tasks) <= 1:
             return SequentialExecutor().map_shards(tasks, work)
         workers = min(self.jobs, len(tasks))
+        # Heaviest first; ties keep canonical order for determinism.
+        submission = sorted(
+            range(len(tasks)),
+            key=lambda i: (-getattr(tasks[i], "estimated_cost", 0.0), i),
+        )
+        results: list = [None] * len(tasks)
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(work, tasks))
+            futures = {pool.submit(work, tasks[i]): i for i in submission}
+            for future in as_completed(futures):
+                results[futures[future]] = future.result()
+        return results
 
 
 def executor_for(jobs: int) -> ShardExecutor:
@@ -428,7 +643,13 @@ class AuditEngine:
 
     @staticmethod
     def merge(results: list[ShardResult]) -> EngineOutput:
-        """Fold ordered shard results into corpus-wide state."""
+        """Fold ordered shard results into corpus-wide state.
+
+        Results must arrive in canonical order: service-spec order,
+        then sub-shard (trace-unit) order within a split service.  A
+        service's sub-shard results are folded exactly as one whole-
+        service result would be — contacted sets union, counters sum.
+        """
         flows = FlowTable()
         dataset = DatasetSummary()
         contacted: dict[str, set[str]] = {}
@@ -440,7 +661,7 @@ class AuditEngine:
         for result in results:
             flows.merge(result.flows)
             dataset.merge(result.dataset)
-            contacted[result.service] = set(result.contacted)
+            contacted.setdefault(result.service, set()).update(result.contacted)
             raw_keys.update(result.raw_keys)
             classified.update(result.classified)
             for fqdn, owner in result.owners.items():
@@ -474,6 +695,10 @@ class AuditEngine:
             shared = CachingClassifier.wrap(self.classifier)
             for task in tasks:
                 task.classifier = shared
+        else:
+            # Size-balance the pool: split cost-skewed services into
+            # sub-shards and let the executor run them unordered.
+            tasks = split_shard_tasks(tasks, self.jobs)
         merged = self.merge(executor.map_shards(tasks))
         if isinstance(self.classifier, PersistentClassifier):
             # Parallel shards write through the shared store file; the

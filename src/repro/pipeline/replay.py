@@ -91,9 +91,9 @@ def load_parsed_trace(unit: TraceUnit) -> ParsedTrace:
         keylog_text = (
             unit.keylog.read_text(encoding="utf-8") if unit.keylog is not None else ""
         )
-        return parsed_trace_from_mobile(
-            unit.meta, Path(unit.pcap).read_bytes(), keylog_text
-        )
+        # The pcap path (not its bytes) goes down to the decoder, which
+        # memory-maps it and walks records zero-copy.
+        return parsed_trace_from_mobile(unit.meta, unit.pcap, keylog_text)
     except ReplayError:
         raise
     except (ValueError, OSError) as exc:

@@ -184,6 +184,42 @@ def _stable_seed(*parts) -> int:
     return int.from_bytes(hashlib.sha256(text.encode()).digest()[:8], "big")
 
 
+def service_trace_units(
+    spec: ServiceSpec,
+) -> list[tuple[Platform, TraceKind, AgeGroup | None]]:
+    """The ordered trace units one service generates (paper §3.1)."""
+    units: list[tuple[Platform, TraceKind, AgeGroup | None]] = []
+    for platform in spec.platforms:
+        for age in AgeGroup:
+            units.append((platform, TraceKind.ACCOUNT_CREATION, age))
+            units.append((platform, TraceKind.LOGGED_IN, age))
+        units.append((platform, TraceKind.LOGGED_OUT, None))
+    return units
+
+
+# Scale-independent per-unit work (session script, grid coverage,
+# capture round-trip) in the same relative currency as packet volume.
+_BASE_UNIT_COST = 50.0
+
+
+def estimate_unit_costs(config: CorpusConfig, spec: ServiceSpec) -> list[float]:
+    """Relative processing-cost estimate per trace unit of a service.
+
+    The dominant per-unit cost is packet volume, which the generator
+    apportions by :data:`_PACKET_WEIGHTS`; a flat structural term
+    covers the scale-independent work.  The engine's scheduler only
+    needs *relative* accuracy — these numbers decide how service
+    shards split and in what order sub-shards hit the worker pool.
+    """
+    units = service_trace_units(spec)
+    weights = [_PACKET_WEIGHTS[kind] for (_, kind, _) in units]
+    total_weight = sum(weights) or 1.0
+    packets = spec.profile.volume.packets * config.effective_scale
+    return [
+        _BASE_UNIT_COST + packets * weight / total_weight for weight in weights
+    ]
+
+
 def ip_for(fqdn: str) -> str:
     """Deterministic public-looking IPv4 for a hostname (DNS stand-in)."""
     digest = hashlib.sha256(b"dns|" + fqdn.encode()).digest()
@@ -215,25 +251,39 @@ class TrafficGenerator:
     # ------------------------------------------------------------------
 
     def trace_units(self, spec: ServiceSpec) -> list[tuple[Platform, TraceKind, AgeGroup | None]]:
-        units: list[tuple[Platform, TraceKind, AgeGroup | None]] = []
-        for platform in spec.platforms:
-            for age in AgeGroup:
-                units.append((platform, TraceKind.ACCOUNT_CREATION, age))
-                units.append((platform, TraceKind.LOGGED_IN, age))
-            units.append((platform, TraceKind.LOGGED_OUT, None))
-        return units
+        return service_trace_units(spec)
 
-    def generate_corpus(self) -> Iterator[RawTrace]:
-        """Yield every trace unit of every configured service."""
+    def generate_corpus(
+        self, unit_range: tuple[int, int] | None = None
+    ) -> Iterator[RawTrace]:
+        """Yield every trace unit of every configured service.
+
+        ``unit_range`` restricts each service to a contiguous
+        ``[start, stop)`` slice of its trace units — the engine's
+        sub-shard unit.  Skipped units are not generated, but any
+        cross-unit generator state they would have advanced (the
+        beacon cursor) is advanced identically, so a unit's traffic is
+        byte-for-byte the same whether its service is generated whole
+        or in slices.
+        """
         for spec in self.config.service_specs():
-            yield from self.generate_service(spec)
+            yield from self.generate_service(spec, unit_range=unit_range)
 
-    def generate_service(self, spec: ServiceSpec) -> Iterator[RawTrace]:
+    def generate_service(
+        self, spec: ServiceSpec, unit_range: tuple[int, int] | None = None
+    ) -> Iterator[RawTrace]:
         self._beacon_cursor[spec.key] = 0
         units = self.trace_units(spec)
         weights = [_PACKET_WEIGHTS[kind] for (_, kind, _) in units]
         total_weight = sum(weights)
+        start, stop = unit_range if unit_range is not None else (0, len(units))
         for index, (platform, kind, age) in enumerate(units):
+            if not start <= index < stop:
+                # Outside this slice: replay only the unit's effect on
+                # cross-unit state, in O(1) instead of generating it.
+                if kind is not TraceKind.ACCOUNT_CREATION:
+                    self._advance_beacon_cursor(spec, TraceColumn.for_trace(kind, age))
+                continue
             packet_share = (
                 spec.profile.volume.packets
                 * self.config.effective_scale
@@ -715,6 +765,28 @@ class TrafficGenerator:
         Level3.APP_OR_SERVICE_USAGE,
     )
 
+    def _beacon_remaining(self, spec: ServiceSpec, column: TraceColumn) -> list[str]:
+        """The non-linkable beacon pool for one unit (pool − partners)."""
+        partners = set(self._partners(spec, column))
+        return [
+            fqdn
+            for fqdn in spec.third_party_pool_interleaved()
+            if fqdn not in partners
+        ]
+
+    def _advance_beacon_cursor(self, spec: ServiceSpec, column: TraceColumn) -> int:
+        """Move the per-service beacon cursor exactly one unit forward.
+
+        Shared by beacon emission and the skipped-unit fast path in
+        :meth:`generate_service`, so slicing a service into sub-shards
+        cannot drift the cursor.  Returns the cursor value the unit
+        started from.
+        """
+        remaining = self._beacon_remaining(spec, column)
+        cursor = self._beacon_cursor.get(spec.key, 0)
+        self._beacon_cursor[spec.key] = cursor + max(1, len(remaining) // 4)
+        return cursor
+
     def _beacon_requests(
         self,
         spec: ServiceSpec,
@@ -724,19 +796,13 @@ class TrafficGenerator:
         rng: random.Random,
     ) -> list[tuple[HttpRequest, str, bool]]:
         """Contact the rest of the pool with single-side (PI-only) data."""
-        partners = set(self._partners(spec, column))
         ats_pool = set(spec.third_party_ats_pool)
-        remaining = [
-            fqdn
-            for fqdn in spec.third_party_pool_interleaved()
-            if fqdn not in partners
-        ]
+        remaining = self._beacon_remaining(spec, column)
         out: list[tuple[HttpRequest, str, bool]] = []
-        cursor = self._beacon_cursor.get(spec.key, 0)
+        cursor = self._advance_beacon_cursor(spec, column)
         # Walk the remaining pool from a moving cursor so each unit
         # spreads contacts and the corpus eventually touches everything.
         chunk = remaining[cursor % max(1, len(remaining)) :] + remaining[: cursor % max(1, len(remaining))]
-        self._beacon_cursor[spec.key] = cursor + max(1, len(remaining) // 4)
         for fqdn in chunk:
             cell = FlowCell.SHARE_3RD_ATS if fqdn in ats_pool else FlowCell.SHARE_3RD
             beacon_type = next(

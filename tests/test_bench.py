@@ -1,0 +1,161 @@
+"""Tests for the recorded benchmark trajectory (``repro bench``)."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_FIELDS,
+    BenchError,
+    bench_entries,
+    compare_entries,
+    load_entry,
+    run_bench,
+    validate_entry,
+)
+
+
+def _record(workload="decode", **overrides) -> dict:
+    record = {
+        "workload": workload,
+        "scale": 0.02,
+        "profile": "standard",
+        "jobs": 1,
+        "repeats": 1,
+        "wall_time_s": 1.0,
+        "peak_rss_kb": 1000,
+        "throughput": 10.0,
+        "throughput_unit": "MB/s",
+        "git_rev": "abc1234",
+    }
+    record.update(overrides)
+    return record
+
+
+class TestSchema:
+    def test_valid_entry_passes(self):
+        validate_entry({"workloads": [_record()]})
+
+    @pytest.mark.parametrize("missing", BENCH_SCHEMA_FIELDS)
+    def test_each_schema_field_is_required(self, missing):
+        record = _record()
+        del record[missing]
+        with pytest.raises(BenchError, match=missing):
+            validate_entry({"workloads": [record]})
+
+    def test_load_entry_rejects_non_entries(self, tmp_path):
+        path = tmp_path / "BENCH_0.json"
+        path.write_text(json.dumps({"something": "else"}))
+        with pytest.raises(BenchError, match="workloads"):
+            load_entry(path)
+
+
+class TestTrajectory:
+    def test_entries_ordered_by_index(self, tmp_path):
+        for index in (3, 0, 11, 2):
+            (tmp_path / f"BENCH_{index}.json").write_text("{}")
+        (tmp_path / "BENCH_x.json").write_text("{}")  # non-numeric: ignored
+        assert [n for n, _ in bench_entries(tmp_path)] == [0, 2, 3, 11]
+
+    def test_compare_matches_like_for_like_only(self):
+        current = {"workloads": [_record(throughput=20.0)]}
+        previous = {
+            "workloads": [
+                _record(scale=0.005, throughput=5.0),  # different knobs
+                _record(throughput=10.0),  # comparable
+            ]
+        }
+        ratios = compare_entries(current, previous)
+        assert ratios["decode"]["throughput_speedup"] == 2.0
+
+    def test_compare_skips_unmatched_workloads(self):
+        current = {"workloads": [_record(workload="audit")]}
+        previous = {"workloads": [_record(workload="decode")]}
+        assert compare_entries(current, previous) == {}
+
+    def test_interleaved_quick_entry_does_not_disarm_comparison(self, tmp_path):
+        """The baseline is the newest *comparable* entry, not the
+        newest file — a --quick CI entry in between must be skipped."""
+        (tmp_path / "BENCH_0.json").write_text(
+            json.dumps({"workloads": [_record(scale=0.002, throughput=5.0)]})
+        )
+        (tmp_path / "BENCH_1.json").write_text(  # quick entry, other knobs
+            json.dumps({"workloads": [_record(scale=0.9, throughput=1.0)]})
+        )
+        path, document = run_bench(
+            tmp_path, scale=0.002, repeats=1, workloads=("decode",)
+        )
+        assert path.name == "BENCH_2.json"
+        assert document["compared_to"]["file"] == "BENCH_0.json"
+
+    def test_run_bench_creates_missing_output_dir(self, tmp_path):
+        """`repro bench --output-dir <new>` must not require the
+        directory to exist (the CI perf-smoke job relies on this)."""
+        target = tmp_path / "nested" / "bench"
+        path, _ = run_bench(
+            target, scale=0.002, repeats=1, workloads=("decode",)
+        )
+        assert path == target / "BENCH_0.json"
+        assert path.exists()
+
+
+class TestRunBench:
+    def test_records_schema_valid_entry_and_compares(self, tmp_path):
+        """A real (tiny) run: the decode workload end to end, twice.
+
+        The second run must pick the next index and embed a
+        ``compared_to`` block against the first.
+        """
+        path, document = run_bench(
+            tmp_path, scale=0.002, repeats=1, workloads=("decode",)
+        )
+        assert path.name == "BENCH_0.json"
+        validate_entry(document)
+        reread = load_entry(path)
+        assert reread["workloads"][0]["workload"] == "decode"
+        assert reread["workloads"][0]["throughput"] > 0
+        assert reread["workloads"][0]["peak_rss_kb"] > 0
+
+        second_path, second = run_bench(
+            tmp_path, scale=0.002, repeats=1, workloads=("decode",)
+        )
+        assert second_path.name == "BENCH_1.json"
+        assert second["compared_to"]["file"] == "BENCH_0.json"
+        assert second["compared_to"]["decode"]["throughput_speedup"] > 0
+
+    def test_unknown_workload_rejected(self, tmp_path):
+        with pytest.raises(BenchError, match="unknown workload"):
+            run_bench(tmp_path, workloads=("nonsense",))
+
+
+class TestRepoTrajectory:
+    def test_checked_in_entries_are_schema_valid(self):
+        """The committed BENCH_*.json history must satisfy the schema."""
+        from pathlib import Path
+
+        root = Path(__file__).parent.parent
+        entries = bench_entries(root)
+        assert entries, "repo must carry a recorded benchmark trajectory"
+        for _, path in entries:
+            validate_entry(load_entry(path))
+
+    def test_trajectory_records_decode_speedup(self):
+        """The PR-4 rewrite is pinned: ≥2x decode throughput on the
+        standard profile between the first two recorded entries."""
+        from pathlib import Path
+
+        root = Path(__file__).parent.parent
+        entries = dict(bench_entries(root))
+        first = load_entry(entries[0])
+        second = load_entry(entries[1])
+        ratios = compare_entries(second, first)
+        assert ratios["decode"]["throughput_speedup"] >= 2.0
+
+    def test_cli_exposes_bench_subcommand(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["bench", "--quick", "--output-dir", "/tmp/x", "--jobs", "2"]
+        )
+        assert args.func.__name__ == "cmd_bench"
+        assert args.quick is True

@@ -15,8 +15,11 @@ from repro.pipeline.engine import (
     ProcessPoolShardExecutor,
     SequentialExecutor,
     executor_for,
+    partition_costs,
+    shard_unit_costs,
+    split_shard_tasks,
 )
-from repro.services.generator import LOAD_PROFILES
+from repro.services.generator import LOAD_PROFILES, estimate_unit_costs
 
 
 def _observation(
@@ -240,6 +243,120 @@ class TestLoadProfiles:
             engine_heavy.dataset.total_packets
             == engine_equivalent.dataset.total_packets
         )
+
+
+class _CostedItem:
+    """Minimal picklable work item for executor-ordering tests."""
+
+    def __init__(self, index: int, estimated_cost: float) -> None:
+        self.index = index
+        self.estimated_cost = estimated_cost
+
+
+def _echo_index(item: _CostedItem) -> int:
+    return item.index
+
+
+class TestSizeBalancedScheduling:
+    """Cost estimation, shard splitting, and unordered execution."""
+
+    def test_partition_costs_covers_contiguously(self):
+        costs = [5.0, 1.0, 1.0, 1.0, 5.0, 1.0, 1.0, 1.0]
+        ranges = partition_costs(costs, 3)
+        assert ranges[0][0] == 0 and ranges[-1][1] == len(costs)
+        for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+            assert stop == start  # contiguous, no gaps or overlaps
+        assert all(stop > start for start, stop in ranges)
+
+    def test_partition_costs_balances_skew(self):
+        # One heavy unit up front must not drag everything into part 0.
+        costs = [10.0] + [1.0] * 10
+        ranges = partition_costs(costs, 2)
+        assert ranges[0][1] <= 2  # the heavy unit fills its part quickly
+        assert len(ranges) == 2
+
+    def test_partition_costs_clamps_parts(self):
+        assert partition_costs([1.0, 2.0], 10) == [(0, 1), (1, 2)]
+        assert partition_costs([1.0, 2.0, 3.0], 1) == [(0, 3)]
+        assert partition_costs([0.0, 0.0], 2) == [(0, 2)]  # zero total: whole
+
+    def test_estimated_unit_costs_are_positive_and_skewed(self):
+        config = CorpusConfig(scale=0.01)
+        for spec in config.service_specs():
+            costs = estimate_unit_costs(config, spec)
+            assert len(costs) > 0
+            assert all(cost > 0 for cost in costs)
+        totals = {
+            spec.key: sum(estimate_unit_costs(config, spec))
+            for spec in config.service_specs()
+        }
+        # The paper's services differ in volume — the estimates must
+        # reflect that skew, or splitting would have nothing to fix.
+        assert max(totals.values()) > 1.2 * min(totals.values())
+
+    def test_split_preserves_canonical_order_and_unit_coverage(self):
+        config = CorpusConfig(scale=0.01)
+        engine = AuditEngine(config=config, jobs=4)
+        tasks = split_shard_tasks(engine.shard_tasks(), 4)
+        assert len(tasks) > len(config.service_specs())  # something split
+        services = [spec.key for spec in config.service_specs()]
+        seen_order = [task.service for task in tasks]
+        # Canonical order: grouped by service in spec order, parts ascending.
+        assert seen_order == sorted(
+            seen_order, key=lambda s: services.index(s)
+        )
+        by_service: dict[str, list] = {}
+        for task in tasks:
+            by_service.setdefault(task.service, []).append(task)
+        for service, parts in by_service.items():
+            assert [task.part for task in parts] == list(range(len(parts)))
+            if len(parts) == 1:
+                continue
+            ranges = [task.unit_range for task in parts]
+            assert ranges[0][0] == 0
+            for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+                assert stop == start
+            assert all(task.estimated_cost > 0 for task in parts)
+
+    def test_split_balances_estimated_cost(self):
+        config = CorpusConfig(scale=0.05)
+        engine = AuditEngine(config=config, jobs=4)
+        whole = engine.shard_tasks()
+        whole_costs = [sum(shard_unit_costs(task)) for task in whole]
+        split = split_shard_tasks(whole, 4)
+        split_costs = [task.estimated_cost for task in split]
+        # Splitting must strictly shrink the largest schedulable chunk —
+        # that is the whole point of sub-sharding a skewed corpus.
+        assert max(split_costs) < max(whole_costs)
+        assert sum(split_costs) == pytest.approx(sum(whole_costs))
+
+    def test_split_replay_units_cover_the_corpus(self, tmp_path):
+        from repro.pipeline.engine import generate_corpus_artifacts
+
+        config = CorpusConfig(scale=0.002, seed=3, services=("youtube",))
+        generate_corpus_artifacts(config, tmp_path)
+        engine = AuditEngine(config=config, replay=tmp_path, jobs=3)
+        tasks = split_shard_tasks(engine.shard_tasks(), 3)
+        rejoined = [
+            unit for task in tasks for unit in (task.replay_units or ())
+        ]
+        (original,) = engine.shard_tasks()
+        assert tuple(rejoined) == original.replay_units
+        # Replay sub-shards carry their slice in replay_units directly.
+        assert all(task.unit_range is None for task in tasks)
+        assert all(task.estimated_cost > 0 for task in tasks)
+
+    def test_sequential_jobs_never_split(self):
+        engine = AuditEngine(config=CorpusConfig(scale=0.05), jobs=1)
+        tasks = engine.shard_tasks()
+        assert split_shard_tasks(tasks, 1) is tasks
+
+    def test_pool_executor_returns_results_in_input_order(self):
+        items = [_CostedItem(i, cost) for i, cost in enumerate([1, 9, 3, 7, 5])]
+        results = ProcessPoolShardExecutor(jobs=2).map_shards(
+            items, work=_echo_index
+        )
+        assert results == [0, 1, 2, 3, 4]
 
 
 class TestEngineParity:

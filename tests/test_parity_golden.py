@@ -1,0 +1,126 @@
+"""Golden-corpus parity: the guard rail around the decode rewrite.
+
+The corpus is *pinned, not stored*: generation is fully deterministic
+for a config, so instead of committing ~2 MB of binary artifacts the
+repo checks in ``tests/data/golden_corpus.sha256`` — the SHA-256 of
+every artifact the golden config produces.  The fixture regenerates
+the corpus and the first test proves the bytes still match the pinned
+digests; the remaining tests then hold every decode API to identical
+results on those exact bytes:
+
+* eager (:class:`PcapFile`), streaming (raw bytes through
+  :class:`PcapReader`), and mmap (file path) decoding must produce
+  byte-identical :class:`ParsedTrace` output per artifact;
+* replaying the corpus through the engine sequentially and with
+  ``--jobs 2`` (which exercises sub-shard splitting) must serialize to
+  the same JSON document as the in-memory audit of the same config.
+
+Regenerate the digest file only for an *intentional* generator change:
+``PYTHONPATH=src python -m repro generate --output D --scale 0.002
+--profile light --seed 11 --services tiktok youtube`` then
+``(cd D && sha256sum $(ls | sort)) > tests/data/golden_corpus.sha256``.
+"""
+
+import hashlib
+from pathlib import Path
+
+import pytest
+
+from repro import CorpusConfig, DiffAudit
+from repro.capture.decrypt import decrypt_mobile_artifact
+from repro.net.pcap import PcapFile
+from repro.pipeline.corpus import parsed_trace_from_mobile
+from repro.pipeline.engine import generate_corpus_artifacts
+from repro.pipeline.replay import ReplayCorpus
+from repro.reporting.export import result_to_json
+
+GOLDEN_CONFIG = CorpusConfig(
+    seed=11, scale=0.002, profile="light", services=("tiktok", "youtube")
+)
+DIGEST_FILE = Path(__file__).parent / "data" / "golden_corpus.sha256"
+
+
+@pytest.fixture(scope="module")
+def golden_corpus(tmp_path_factory) -> Path:
+    directory = tmp_path_factory.mktemp("golden-corpus")
+    generate_corpus_artifacts(GOLDEN_CONFIG, directory)
+    return directory
+
+
+def _pinned_digests() -> dict[str, str]:
+    digests = {}
+    for line in DIGEST_FILE.read_text(encoding="utf-8").splitlines():
+        digest, _, name = line.strip().partition("  ")
+        digests[name] = digest
+    return digests
+
+
+class TestPinnedBytes:
+    def test_corpus_matches_checked_in_digests(self, golden_corpus):
+        """Every artifact byte is pinned; drift fails loudly here."""
+        expected = _pinned_digests()
+        actual = {
+            path.name: hashlib.sha256(path.read_bytes()).hexdigest()
+            for path in golden_corpus.iterdir()
+            if path.is_file()
+        }
+        assert set(actual) == set(expected), "artifact file set changed"
+        mismatched = sorted(
+            name for name, digest in actual.items() if expected[name] != digest
+        )
+        assert not mismatched, f"artifact bytes drifted: {mismatched}"
+
+
+class TestDecodeApiParity:
+    def test_eager_streaming_and_mmap_decode_identically(self, golden_corpus):
+        corpus = ReplayCorpus.scan(golden_corpus)
+        pcap_units = [unit for unit in corpus.units if unit.pcap is not None]
+        assert pcap_units, "golden corpus must contain mobile traces"
+        for unit in pcap_units:
+            keylog_text = (
+                unit.keylog.read_text(encoding="utf-8") if unit.keylog else ""
+            )
+            raw = unit.pcap.read_bytes()
+            eager = parsed_trace_from_mobile(
+                unit.meta, PcapFile.from_bytes(raw), keylog_text
+            )
+            streaming = parsed_trace_from_mobile(unit.meta, raw, keylog_text)
+            mmapped = parsed_trace_from_mobile(unit.meta, unit.pcap, keylog_text)
+            assert streaming == eager, f"streaming decode diverged for {unit.meta.name}"
+            assert mmapped == eager, f"mmap decode diverged for {unit.meta.name}"
+
+    def test_streaming_decode_recovers_requests(self, golden_corpus):
+        corpus = ReplayCorpus.scan(golden_corpus)
+        recovered = 0
+        for unit in corpus.units:
+            if unit.pcap is None:
+                continue
+            keylog_text = (
+                unit.keylog.read_text(encoding="utf-8") if unit.keylog else ""
+            )
+            decryption = decrypt_mobile_artifact(
+                unit.pcap.read_bytes(), keylog_text
+            )
+            assert decryption.packet_count > 0
+            recovered += len(decryption.requests)
+        assert recovered > 0, "no plaintext recovered from the golden corpus"
+
+
+class TestEngineParityOnGoldenCorpus:
+    def test_replay_sequential_parallel_and_in_memory_agree(self, golden_corpus):
+        """The whole pipeline, all three ways, to one JSON document.
+
+        ``jobs=2`` exercises the size-balanced scheduler's sub-shard
+        splitting and unordered submission; output must stay
+        byte-identical to the sequential replay *and* to the in-memory
+        audit that never touched the artifacts.
+        """
+        sequential = result_to_json(
+            DiffAudit(GOLDEN_CONFIG, replay=golden_corpus, jobs=1).run()
+        )
+        parallel = result_to_json(
+            DiffAudit(GOLDEN_CONFIG, replay=golden_corpus, jobs=2).run()
+        )
+        in_memory = result_to_json(DiffAudit(GOLDEN_CONFIG).run())
+        assert sequential == in_memory
+        assert parallel == in_memory

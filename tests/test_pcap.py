@@ -5,7 +5,20 @@ import struct
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.net.pcap import PcapError, PcapFile, PcapPacket
+from repro.net.pcap import PcapError, PcapFile, PcapPacket, PcapReader
+
+
+def _handwritten_pcap(byte_order: str, records: int = 1) -> bytes:
+    """A minimal valid capture built by hand in either byte order."""
+    assert byte_order in ("<", ">")
+    blob = struct.pack(byte_order + "IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1)
+    for index in range(records):
+        payload = bytes([index]) * 5
+        blob += struct.pack(
+            byte_order + "IIII", 10 + index, 500, len(payload), len(payload)
+        )
+        blob += payload
+    return blob
 
 
 def make_pcap(n: int = 3) -> PcapFile:
@@ -132,3 +145,100 @@ class TestFormat:
         pcap.append(PcapPacket(timestamp=1.9999996, data=b"x"))
         parsed = PcapFile.from_bytes(pcap.to_bytes())
         assert abs(parsed.packets[0].timestamp - 2.0) < 1e-6
+
+    def test_microsecond_rollover_emits_valid_record(self):
+        """``micros == 1_000_000`` must roll into the seconds field.
+
+        A record whose fraction field equals a full second would be
+        invalid on the wire (tshark flags it); the writer must carry
+        the overflow instead of emitting it.
+        """
+        pcap = PcapFile()
+        pcap.append(PcapPacket(timestamp=1.9999996, data=b"x"))
+        blob = pcap.to_bytes()
+        seconds, micros, caplen, orig_len = struct.unpack("<IIII", blob[24:40])
+        assert (seconds, micros) == (2, 0)
+        assert caplen == orig_len == 1
+
+    @given(st.floats(min_value=0, max_value=2**31, allow_nan=False))
+    def test_micros_field_always_below_one_second(self, timestamp):
+        pcap = PcapFile()
+        pcap.append(PcapPacket(timestamp=timestamp, data=b"x"))
+        blob = pcap.to_bytes()
+        _, micros, _, _ = struct.unpack("<IIII", blob[24:40])
+        assert 0 <= micros < 1_000_000
+
+
+class TestTruncation:
+    """Explicit truncation errors, in both byte orders."""
+
+    @pytest.mark.parametrize("byte_order", ["<", ">"], ids=["le", "be"])
+    @pytest.mark.parametrize("cut", [0, 4, 12, 23])
+    def test_truncated_global_header(self, byte_order, cut):
+        blob = _handwritten_pcap(byte_order)
+        with pytest.raises(PcapError, match="shorter than global header"):
+            PcapFile.from_bytes(blob[:cut])
+
+    @pytest.mark.parametrize("byte_order", ["<", ">"], ids=["le", "be"])
+    def test_truncated_record_header(self, byte_order):
+        blob = _handwritten_pcap(byte_order)
+        # Cut inside the 16-byte record header (after the global header).
+        with pytest.raises(PcapError, match="truncated record header"):
+            PcapFile.from_bytes(blob[: 24 + 7])
+
+    @pytest.mark.parametrize("byte_order", ["<", ">"], ids=["le", "be"])
+    def test_truncated_record_body(self, byte_order):
+        blob = _handwritten_pcap(byte_order)
+        with pytest.raises(PcapError, match="truncated record body"):
+            PcapFile.from_bytes(blob[:-2])
+
+    @pytest.mark.parametrize("byte_order", ["<", ">"], ids=["le", "be"])
+    def test_intact_file_parses(self, byte_order):
+        parsed = PcapFile.from_bytes(_handwritten_pcap(byte_order, records=2))
+        assert [p.data for p in parsed.packets] == [b"\x00" * 5, b"\x01" * 5]
+
+
+class TestPcapReader:
+    """The streaming zero-copy path."""
+
+    def test_streaming_matches_eager(self):
+        blob = make_pcap(5).to_bytes()
+        eager = PcapFile.from_bytes(blob)
+        reader = PcapReader(blob)
+        records = list(reader.iter_packets())
+        assert [bytes(r.data) for r in records] == [p.data for p in eager.packets]
+        assert [r.timestamp for r in records] == [
+            p.timestamp for p in eager.packets
+        ]
+        assert [r.orig_len for r in records] == [p.orig_len for p in eager.packets]
+        assert (reader.linktype, reader.snaplen) == (eager.linktype, eager.snaplen)
+
+    def test_records_are_zero_copy_views(self):
+        blob = make_pcap(1).to_bytes()
+        record = next(PcapReader(blob).iter_packets())
+        assert isinstance(record.data, memoryview)
+        assert record.data.obj is blob  # view into the original buffer
+
+    def test_open_mmaps_on_disk_file(self, tmp_path):
+        path = tmp_path / "trace.pcap"
+        make_pcap(4).write(path)
+        with PcapReader.open(path) as reader:
+            assert len(list(reader.iter_packets())) == 4
+
+    def test_open_rejects_bad_magic_and_releases_file(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\x00" * 64)
+        with pytest.raises(PcapError, match="bad magic"):
+            PcapReader.open(path)
+
+    def test_open_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.pcap"
+        path.write_bytes(b"")
+        with pytest.raises(PcapError, match="shorter than global header"):
+            PcapReader.open(path)
+
+    def test_header_validated_eagerly_records_lazily(self):
+        blob = _handwritten_pcap("<") + b"\x01"  # trailing junk byte
+        reader = PcapReader(blob)  # construction is fine
+        with pytest.raises(PcapError, match="truncated record header"):
+            list(reader.iter_packets())

@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""Run the benchmark suite and append ``BENCH_<n>.json`` at the repo root.
+
+Thin wrapper over :mod:`repro.bench` that pins ``--output-dir`` to the
+repository root, so the recorded trajectory always lands next to the
+previous entries regardless of the caller's working directory:
+
+    PYTHONPATH=src python tools/bench_record.py [--quick] [--scale S]
+
+See ``docs/performance.md`` for the entry schema and the recorded
+history.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main(["--output-dir", str(ROOT), *sys.argv[1:]]))

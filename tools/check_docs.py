@@ -10,9 +10,12 @@ Scans README.md and docs/*.md for
   the actual CLI argument parser (commands and flags must exist);
 * ``docs/cli.md`` — the complete CLI reference must stay in sync with
   the argparse tree: every (sub)command needs a ``## `repro …` ``
-  heading, every option a command defines must appear in that
-  command's section, and every ``--option`` token anywhere in the file
-  must exist somewhere in the CLI (no stale flags).
+  heading (the ``bench`` subcommand included), every option a command
+  defines must appear in that command's section, and every
+  ``--option`` token anywhere in the file must exist somewhere in the
+  CLI (no stale flags);
+* ``docs/performance.md`` — the documented ``BENCH_<n>.json`` schema
+  must cover every field in ``repro.bench.BENCH_SCHEMA_FIELDS``.
 
 Run from the repo root with ``PYTHONPATH=src python tools/check_docs.py``.
 Exits non-zero listing every broken reference.
@@ -149,9 +152,33 @@ def check_cli_reference() -> list[str]:
     return errors
 
 
+def check_bench_schema() -> list[str]:
+    """``docs/performance.md`` must document every BENCH schema field.
+
+    The benchmark trajectory is only useful if its on-disk schema is
+    readable without the source; any field added to
+    ``repro.bench.BENCH_SCHEMA_FIELDS`` has to show up (as an inline
+    ```code` `` token) in the performance page.
+    """
+    from repro.bench import BENCH_SCHEMA_FIELDS
+
+    path = ROOT / "docs" / "performance.md"
+    rel = path.relative_to(ROOT)
+    if not path.exists():
+        return [f"{rel}: missing"]
+    text = path.read_text(encoding="utf-8")
+    documented = set(re.findall(r"`([a-z_]+)`", text))
+    return [
+        f"{rel}: BENCH schema field `{field}` is not documented"
+        for field in BENCH_SCHEMA_FIELDS
+        if field not in documented
+    ]
+
+
 def main() -> int:
     errors: list[str] = []
     errors.extend(check_cli_reference())
+    errors.extend(check_bench_schema())
     for path in DOC_FILES:
         if not path.exists():
             errors.append(f"{path.relative_to(ROOT)}: missing")
