@@ -10,8 +10,8 @@ Each entry is a JSON document with a ``workloads`` list; every
 workload record carries the schema fields in
 :data:`BENCH_SCHEMA_FIELDS` (documented in ``docs/performance.md``):
 
-* ``workload`` — which suite member ran (``decode``, ``audit``,
-  ``audit-parallel``);
+* ``workload`` — which suite member ran (``decode``, ``stream``,
+  ``audit``, ``audit-parallel``);
 * ``scale`` / ``profile`` / ``jobs`` / ``repeats`` — the knobs, so
   entries are only ever compared like-for-like;
 * ``wall_time_s`` — best-of-``repeats`` wall time;
@@ -165,6 +165,48 @@ def _decode_workload(scale: float, profile: str, repeats: int) -> dict:
     }
 
 
+def _stream_workload(scale: float, profile: str, repeats: int) -> dict:
+    """Streaming decode: the same corpus as ``decode``, one packet at
+    a time through the incremental reassembly → TLS → HTTP pipeline
+    with the default eviction policy.  Holds the streaming path's
+    throughput against the batch decoder's, with per-workload peak RSS
+    showing the bounded-memory trade."""
+    from repro.net.pcap import PcapReader
+    from repro.net.tls import KeyLog
+    from repro.stream.incremental import IncrementalTraceDecoder
+
+    corpus = _mobile_corpus(CorpusConfig(scale=scale, profile=profile))
+    if not corpus:
+        raise BenchError("stream workload produced no mobile traces")
+    keylogs = [KeyLog.from_text(text) for _, text in corpus]
+    total_bytes = sum(len(pcap) for pcap, _ in corpus)
+    best = float("inf")
+    requests = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        requests = 0
+        for (pcap_bytes, _), keylog in zip(corpus, keylogs):
+            decoder = IncrementalTraceDecoder(keylog)
+            reader = PcapReader(pcap_bytes)
+            for record in reader.iter_packets():
+                decoder.feed(record.timestamp, record.data)
+            requests += len(decoder.finish().requests)
+            reader.close()
+        best = min(best, time.perf_counter() - start)
+    if requests == 0:
+        raise BenchError("stream workload recovered no requests")
+    return {
+        "wall_time_s": round(best, 4),
+        "throughput": round(total_bytes / best / 1e6, 3),
+        "throughput_unit": "MB/s",
+        "detail": {
+            "traces": len(corpus),
+            "pcap_bytes": total_bytes,
+            "requests_recovered": requests,
+        },
+    }
+
+
 def _audit_workload(scale: float, profile: str, jobs: int, repeats: int) -> dict:
     """End-to-end audit wall time (generate → decode → classify → audit)."""
     config = CorpusConfig(scale=scale, profile=profile)
@@ -287,7 +329,7 @@ def run_bench(
     profile: str = "standard",
     jobs: int = 2,
     repeats: int = DEFAULT_REPEATS,
-    workloads: tuple[str, ...] = ("decode", "audit", "audit-parallel"),
+    workloads: tuple[str, ...] = ("decode", "stream", "audit", "audit-parallel"),
 ) -> tuple[Path, dict]:
     """Run the suite, write the next ``BENCH_<n>.json``, return both."""
     root = Path(root)
@@ -296,6 +338,9 @@ def run_bench(
     for name in workloads:
         if name == "decode":
             payload = _run_isolated(_decode_workload, (scale, profile, repeats))
+            knobs = {"jobs": 1}
+        elif name == "stream":
+            payload = _run_isolated(_stream_workload, (scale, profile, repeats))
             knobs = {"jobs": 1}
         elif name == "audit":
             payload = _run_isolated(_audit_workload, (scale, profile, 1, repeats))

@@ -4,6 +4,7 @@ Commands
 --------
 
 ``audit``      run the DiffAudit pipeline and print/export results
+``stream``     incremental bounded-memory audit over a packet feed
 ``classify``   classify raw data type keys from the command line
 ``generate``   write raw capture artifacts (HAR/PCAP/keylog) to disk
 ``report``     render one paper table/figure from a fresh run
@@ -11,15 +12,21 @@ Commands
 ``cache``      inspect/maintain the persistent classification store
 ``bench``      run the benchmark suite and record ``BENCH_<n>.json``
 
-``audit``, ``report`` and ``classify`` accept ``--cache-dir DIR`` to
-persist classifications across runs and worker processes; see
-``docs/cli.md`` for the complete flag reference.
+``audit``, ``report``, ``stream`` and ``classify`` accept
+``--cache-dir DIR`` to persist classifications across runs and worker
+processes; see ``docs/cli.md`` for the complete flag reference.
+
+SIGINT/SIGTERM are handled gracefully everywhere: parallel shard
+workers are torn down without traceback spew, a streaming session
+flushes a final snapshot, and the process exits 130.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import threading
 from pathlib import Path
 
 from repro import CorpusConfig, DiffAudit
@@ -27,6 +34,7 @@ from repro.datatypes.store import StoreError
 from repro.pipeline.replay import ReplayCorpus, ReplayError, replay_config
 from repro.services.catalog import SERVICES
 from repro.services.generator import LOAD_PROFILES
+from repro.stream.impair import IMPAIRMENT_PROFILES
 
 # Derived from the catalog so the CLI choices can never drift from the
 # services the pipeline actually knows.
@@ -76,6 +84,18 @@ def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="worker processes for per-service shards (default 1: sequential)",
     )
+    _add_impair_argument(parser)
+
+
+def _add_impair_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--impair",
+        choices=sorted(IMPAIRMENT_PROFILES),
+        default=None,
+        help="seeded network-impairment profile applied to every mobile "
+        "capture (reorder/duplicate are recoverable by reassembly; "
+        "drop/jitter/fragment are not)",
+    )
 
 
 def _add_cache_argument(parser: argparse.ArgumentParser) -> None:
@@ -104,22 +124,27 @@ def _add_replay_argument(parser: argparse.ArgumentParser) -> None:
 
 def _config(args, corpus: ReplayCorpus | None = None) -> CorpusConfig:
     services = tuple(args.services) if args.services else None
+    impair = getattr(args, "impair", None)
     if corpus is not None:
         manifest_config = (corpus.manifest or {}).get("config", {})
-        for name in ("seed", "scale", "profile"):
-            value = getattr(args, name)
-            if (
-                value is not None
-                and name in manifest_config
-                and value != manifest_config[name]
-            ):
+        for name in ("seed", "scale", "profile", "impair"):
+            value = getattr(args, name, None)
+            if value is None:
+                continue
+            if name in manifest_config:
+                recorded = manifest_config[name]
+            elif name == "impair" and manifest_config:
+                recorded = None  # a manifest without the key is clean
+            else:
+                continue
+            if value != recorded:
                 # Replay never regenerates traffic, so these flags only
                 # change what the result's config block *claims* about
                 # the archived corpus — say so instead of silently
                 # mislabeling the data.
                 print(
                     f"warning: --{name} {value} overrides the corpus manifest's "
-                    f"{name} {manifest_config[name]}; replayed traffic is "
+                    f"{name} {recorded}; replayed traffic is "
                     "unchanged, only the reported config differs",
                     file=sys.stderr,
                 )
@@ -128,6 +153,7 @@ def _config(args, corpus: ReplayCorpus | None = None) -> CorpusConfig:
             seed=args.seed,
             scale=args.scale,
             profile=args.profile,
+            impair=impair,
             services=services,
             fallback=CorpusConfig(
                 seed=_DEFAULT_SEED, scale=_DEFAULT_SCALE, profile=_DEFAULT_PROFILE
@@ -138,6 +164,7 @@ def _config(args, corpus: ReplayCorpus | None = None) -> CorpusConfig:
         scale=args.scale if args.scale is not None else _DEFAULT_SCALE,
         services=services,
         profile=args.profile if args.profile is not None else _DEFAULT_PROFILE,
+        impair=impair,
     )
 
 
@@ -205,30 +232,172 @@ def cmd_audit(args) -> int:
     except (ReplayError, StoreError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    if args.json:
+    provenance = corpus.provenance() if args.with_provenance else None
+    return _emit_result(result, json_flag=args.json, output=args.output,
+                        provenance=provenance)
+
+
+def _emit_result(result, json_flag: bool, output: str | None, provenance=None) -> int:
+    """Print/export one audit result (shared by ``audit`` and ``stream``)."""
+    if json_flag:
         from repro.reporting.export import result_to_json
 
-        provenance = corpus.provenance() if args.with_provenance else None
-        output = result_to_json(result, provenance=provenance)
-        if args.output:
-            Path(args.output).write_text(output)
-            print(f"wrote {args.output}")
+        document = result_to_json(result, provenance=provenance)
+        if output:
+            Path(output).write_text(document)
+            print(f"wrote {output}")
         else:
-            print(output)
+            print(document)
         return 0
     for service in sorted(result.audits):
         for line in result.audits[service].summary_lines():
             print(line)
         print()
-    if args.output:
+    if output:
         from repro.reporting.export import findings_to_csv, flows_to_csv
 
-        directory = Path(args.output)
+        directory = Path(output)
         directory.mkdir(parents=True, exist_ok=True)
         (directory / "flows.csv").write_text(flows_to_csv(result.flows))
         (directory / "findings.csv").write_text(findings_to_csv(result))
         print(f"wrote {directory}/flows.csv and {directory}/findings.csv")
     return 0
+
+
+def cmd_stream(args) -> int:
+    """Incremental bounded-memory audit over a packet feed."""
+    import json as json_module
+
+    from repro.net.pcap import PcapError
+    from repro.stream import (
+        ArtifactStreamSource,
+        EvictionPolicy,
+        FollowPcapSource,
+        LiveGeneratorSource,
+        SingleCaptureSource,
+        StreamAudit,
+        StreamError,
+        snapshot_summary,
+    )
+
+    chosen = [
+        name
+        for name, value in (
+            ("--from-artifacts", args.from_artifacts),
+            ("--pcap", args.pcap),
+            ("--live", args.live),
+        )
+        if value
+    ]
+    if len(chosen) != 1:
+        print(
+            "error: stream needs exactly one source: --from-artifacts DIR, "
+            "--pcap FILE, or --live",
+            file=sys.stderr,
+        )
+        return 2
+    if args.follow and not args.pcap:
+        print("error: --follow requires --pcap FILE", file=sys.stderr)
+        return 2
+    if args.pcap and args.services:
+        # The capture's service comes from its file stem; a filter that
+        # could contradict it must not be silently ignored.
+        print(
+            "error: --services cannot be combined with --pcap (the trace's "
+            "service comes from the capture's file stem)",
+            file=sys.stderr,
+        )
+        return 2
+    error = _output_usage_error(args)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+
+    snapshot_dir = Path(args.snapshot_dir) if args.snapshot_dir else None
+    if snapshot_dir is not None:
+        snapshot_dir.mkdir(parents=True, exist_ok=True)
+
+    def write_snapshot(index: int, output, final: bool = False) -> None:
+        summary = snapshot_summary(output)
+        if snapshot_dir is not None:
+            name = "snapshot_final.json" if final else f"snapshot_{index:05d}.json"
+            (snapshot_dir / name).write_text(
+                json_module.dumps(summary, indent=1) + "\n"
+            )
+        print(
+            f"snapshot {index}: {summary['traces']} traces, "
+            f"{summary['packets']} packets, "
+            f"{summary['flow_observations']} flow observations",
+            file=sys.stderr,
+        )
+
+    try:
+        if args.from_artifacts:
+            corpus = ReplayCorpus.scan(Path(args.from_artifacts))
+            config = _config(args, corpus)
+            source = ArtifactStreamSource(
+                corpus=corpus, services=config.services or tuple(corpus.services())
+            )
+        elif args.pcap:
+            if args.follow:
+                source = FollowPcapSource(
+                    pcap=Path(args.pcap),
+                    keylog=Path(args.keylog) if args.keylog else None,
+                    poll_interval=args.poll_interval,
+                    stop_after_idle=args.stop_after_idle,
+                )
+            else:
+                source = SingleCaptureSource(
+                    pcap=Path(args.pcap),
+                    keylog=Path(args.keylog) if args.keylog else None,
+                )
+            meta = source.meta()
+            args.services = [meta.service]
+            config = _config(args)
+        else:  # --live
+            config = _config(args)
+        if not config.service_specs():
+            raise StreamError(
+                "no catalog services to stream (configured: "
+                f"{', '.join(config.services or ())})"
+            )
+        if args.live:
+            source = LiveGeneratorSource(config=config)
+        session = StreamAudit(
+            config=config,
+            policy=EvictionPolicy(
+                idle_timeout=args.idle_timeout, byte_budget=args.byte_budget
+            ),
+            snapshot_every=args.snapshot_every,
+            cache_dir=args.cache_dir,
+        )
+    except (ReplayError, StreamError, StoreError, PcapError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    index = 0
+    try:
+        for output in session.snapshots(source):
+            index += 1
+            write_snapshot(index, output)
+    except KeyboardInterrupt:
+        # Graceful teardown: flush a final snapshot of everything the
+        # stream had fully consumed, then exit non-zero.  With
+        # --cache-dir, classifications already persisted, so the next
+        # run starts warm.
+        write_snapshot(index + 1, session.snapshot(), final=True)
+        print(
+            f"interrupted after {session.trace_count} traces "
+            f"({session.packet_count} packets); final snapshot flushed",
+            file=sys.stderr,
+        )
+        return 130
+    except (ReplayError, StreamError, PcapError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if snapshot_dir is not None or args.snapshot_every:
+        write_snapshot(index + 1, session.snapshot(), final=True)
+    return _emit_result(session.result(), json_flag=args.json, output=args.output)
 
 
 def cmd_classify(args) -> int:
@@ -527,10 +696,32 @@ def cmd_bench(args) -> int:
     return bench_main(argv)
 
 
+def _package_version() -> str:
+    """The installed distribution's version, else the source tree's.
+
+    ``pip install -e .`` registers package metadata; a bare
+    ``PYTHONPATH=src`` checkout has none, so fall back to
+    ``repro.__version__``.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except (ImportError, PackageNotFoundError):
+        from repro import __version__
+
+        return __version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DiffAudit reproduction — differential privacy auditing",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_package_version()}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -551,6 +742,119 @@ def build_parser() -> argparse.ArgumentParser:
         "the JSON summary; requires --from-artifacts and --json",
     )
     audit.set_defaults(func=cmd_audit)
+
+    stream = sub.add_parser(
+        "stream",
+        help="incremental bounded-memory audit over a packet feed",
+    )
+    stream.add_argument(
+        "--from-artifacts",
+        metavar="DIR",
+        default=None,
+        help="stream a captured corpus from disk to EOF, trace by trace "
+        "and packet by packet (final results are byte-identical to "
+        "`repro audit --from-artifacts DIR`)",
+    )
+    stream.add_argument(
+        "--pcap",
+        metavar="FILE",
+        default=None,
+        help="stream one capture file; trace identity comes from the "
+        "{service}-{platform}-{kind}-{age} file stem",
+    )
+    stream.add_argument(
+        "--keylog",
+        metavar="FILE",
+        default=None,
+        help="NSS key-log file next to --pcap (omitted: all TLS flows opaque)",
+    )
+    stream.add_argument(
+        "--live",
+        action="store_true",
+        help="synthetic live feed: drive the traffic generator through the "
+        "--impair injector with no artifacts on disk",
+    )
+    stream.add_argument(
+        "--follow",
+        action="store_true",
+        help="with --pcap: tail a capture file that is still being written, "
+        "ending after --stop-after-idle seconds of quiet",
+    )
+    stream.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        metavar="S",
+        help="follow mode: seconds between file polls (default 0.2)",
+    )
+    stream.add_argument(
+        "--stop-after-idle",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="follow mode: end the stream after the capture file stays "
+        "unchanged this many wall-clock seconds (default 5)",
+    )
+    stream.add_argument(
+        "--services",
+        nargs="+",
+        choices=_SERVICES,
+        default=None,
+        help="subset of services (default: all six / all in the corpus)",
+    )
+    stream.add_argument(
+        "--scale", type=float, default=None,
+        help="traffic volume relative to the paper's (default 0.02)",
+    )
+    stream.add_argument("--seed", type=int, default=None, help="(default 2023)")
+    stream.add_argument(
+        "--profile",
+        choices=sorted(LOAD_PROFILES),
+        default=None,
+        help="named load profile (default standard)",
+    )
+    _add_impair_argument(stream)
+    stream.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="evict a flow after this many stream-time seconds without a "
+        "segment (default 60)",
+    )
+    stream.add_argument(
+        "--byte-budget",
+        type=int,
+        default=32 << 20,
+        metavar="BYTES",
+        help="cap on buffered payload bytes across all flows; least-recently-"
+        "active flows are finalized to stay under it (default 33554432)",
+    )
+    stream.add_argument(
+        "--snapshot-every",
+        type=_positive_int,
+        default=0,
+        metavar="N",
+        help="emit an engine-state snapshot every N finished traces "
+        "(default: none)",
+    )
+    stream.add_argument(
+        "--snapshot-dir",
+        metavar="DIR",
+        default=None,
+        help="write snapshot_<n>.json digests (plus snapshot_final.json) "
+        "into DIR",
+    )
+    _add_cache_argument(stream)
+    stream.add_argument(
+        "--json", action="store_true", help="emit a JSON summary at EOF"
+    )
+    stream.add_argument(
+        "--output",
+        help="with --json: file path for the JSON summary; without --json: "
+        "directory that receives flows.csv and findings.csv",
+    )
+    stream.set_defaults(func=cmd_stream)
 
     classify = sub.add_parser("classify", help="classify raw data type keys")
     classify.add_argument("keys", nargs="*", help="keys (default: read stdin)")
@@ -688,9 +992,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _raise_interrupt(signum, frame) -> None:
+    raise KeyboardInterrupt
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    # Route SIGTERM through the same graceful-teardown path as Ctrl-C:
+    # executors cancel and terminate their workers, the stream command
+    # flushes a final snapshot, and the process exits 130 — no
+    # traceback spew either way.  Signal handlers only exist in the
+    # main thread; embedded callers elsewhere keep their own handling.
+    restore = None
+    if threading.current_thread() is threading.main_thread():
+        restore = signal.signal(signal.SIGTERM, _raise_interrupt)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    finally:
+        if restore is not None:
+            signal.signal(signal.SIGTERM, restore)
 
 
 if __name__ == "__main__":

@@ -135,16 +135,19 @@ def _parse_head(head: bytes) -> tuple[str, str, str, list[Header], str, str | No
     return method, target, version, headers, host, length_text
 
 
-def parse_request_stream(
-    data: bytes, scheme: str = "https", timestamp: float = 0.0
-) -> list[HttpRequest]:
-    """Parse a pipelined client→server byte stream into requests.
+def scan_request_stream(
+    data: bytes, scheme: str = "https"
+) -> tuple[list[HttpRequest], int, bool]:
+    """Walk as many complete requests as ``data`` currently holds.
 
-    Connection reuse puts several requests back to back on one TCP
-    flow; this walks the stream using Content-Length framing, parsing
-    each head once and slicing bodies straight out of the stream.  A
-    trailing partial request (truncated capture) is dropped, matching
-    how Wireshark-based pipelines behave on incomplete flows.
+    The incremental-feed core shared by :func:`parse_request_stream`
+    and the streaming decoder: returns ``(requests, consumed,
+    broken)`` where ``consumed`` is how many bytes of complete
+    requests were parsed (an incremental caller drops that prefix and
+    retries when more bytes arrive) and ``broken`` means a head failed
+    to parse — the batch walker stops for good at that point, so
+    incremental callers must stop emitting too.  Requests carry
+    ``timestamp=0.0``; callers stamp them.
     """
     requests: list[HttpRequest] = []
     position = 0
@@ -158,7 +161,7 @@ def parse_request_stream(
                 data[position:separator]
             )
         except HttpParseError:
-            break
+            return requests, position, True
         body_length = int(length_text) if length_text else 0
         end = separator + 4 + body_length
         if end > stream_length:
@@ -170,10 +173,47 @@ def parse_request_stream(
                 headers=headers,
                 body=data[separator + 4 : end],
                 http_version=version,
-                timestamp=timestamp,
             )
         )
         position = end
+    return requests, position, False
+
+
+def pending_request_need(data) -> int:
+    """How long ``data`` must grow before another scan can make progress.
+
+    Companion to :func:`scan_request_stream` for incremental feeds:
+    after a scan leaves an unconsumed remainder, this reports the
+    minimum total length at which re-scanning could complete the
+    pending request — a partial body's framing is read once instead of
+    re-walked (and re-copied) on every arriving segment.  A remainder
+    whose head cannot parse returns its current length, so the next
+    scan runs immediately and flags the stream broken.
+    """
+    separator = data.find(b"\r\n\r\n")  # bytes and bytearray alike
+    if separator == -1:
+        return len(data) + 1  # no complete head yet
+    try:
+        *_, length_text = _parse_head(bytes(data[:separator]))
+    except HttpParseError:
+        return len(data)
+    return separator + 4 + (int(length_text) if length_text else 0)
+
+
+def parse_request_stream(
+    data: bytes, scheme: str = "https", timestamp: float = 0.0
+) -> list[HttpRequest]:
+    """Parse a pipelined client→server byte stream into requests.
+
+    Connection reuse puts several requests back to back on one TCP
+    flow; this walks the stream using Content-Length framing, parsing
+    each head once and slicing bodies straight out of the stream.  A
+    trailing partial request (truncated capture) is dropped, matching
+    how Wireshark-based pipelines behave on incomplete flows.
+    """
+    requests, _, _ = scan_request_stream(data, scheme=scheme)
+    for request in requests:
+        request.timestamp = timestamp
     return requests
 
 

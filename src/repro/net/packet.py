@@ -174,6 +174,9 @@ class Ipv4Header:
             raise PacketError("bad IPv4 IHL")
         (total_length,) = _U16.unpack(data[2:4])
         (identification,) = _U16.unpack(data[4:6])
+        (flags_fragment,) = _U16.unpack(data[6:8])
+        if flags_fragment & 0x3FFF:  # MF set or nonzero fragment offset
+            raise PacketError("fragmented IPv4 packet")
         ttl = data[8]
         protocol = data[9]
         if internet_checksum(data[:ihl]) != 0:
@@ -370,6 +373,9 @@ def parse_tcp_segment(data, timestamp: float = 0.0) -> TcpSegment:
         raise PacketError("bad IPv4 IHL")
     if ip[9] != IPPROTO_TCP:
         raise PacketError(f"unsupported IP protocol {ip[9]}")
+    (flags_fragment,) = _U16.unpack(ip[6:8])
+    if flags_fragment & 0x3FFF:  # MF set or nonzero fragment offset
+        raise PacketError("fragmented IPv4 packet")
     if internet_checksum(ip[:ihl]) != 0:
         raise PacketError("IPv4 header checksum mismatch")
     (total_length,) = _U16.unpack(ip[2:4])

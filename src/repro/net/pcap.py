@@ -48,6 +48,45 @@ class PcapError(ValueError):
     """Raised on malformed pcap files."""
 
 
+class PcapFormat(NamedTuple):
+    """Wire format facts a record walker needs, from one global header."""
+
+    record_struct: struct.Struct
+    timestamp_divisor: int
+    header_size: int
+    snaplen: int
+    linktype: int
+
+
+def parse_global_header(buffer) -> PcapFormat:
+    """Validate a pcap global header and describe its record format.
+
+    The shared front door for readers that cannot memory-map a whole
+    file — the follow-mode tail reader hands in just the first 24
+    bytes.  Raises :class:`PcapError` exactly as :class:`PcapReader`
+    construction does.
+    """
+    if len(buffer) < _GLOBAL_HEADER.size:
+        raise PcapError("file shorter than global header")
+    (magic,) = _MAGIC_PREFIX.unpack(bytes(buffer[:4]))
+    try:
+        header_struct, record_struct, nanos = _FORMATS[magic]
+    except KeyError:
+        raise PcapError(f"bad magic 0x{magic:08x}") from None
+    (_, major, minor, _tz, _sig, snaplen, linktype) = header_struct.unpack(
+        bytes(buffer[: header_struct.size])
+    )
+    if (major, minor) != (2, 4):
+        raise PcapError(f"unsupported pcap version {major}.{minor}")
+    return PcapFormat(
+        record_struct=record_struct,
+        timestamp_divisor=1_000_000_000 if nanos else 1_000_000,
+        header_size=header_struct.size,
+        snaplen=snaplen,
+        linktype=linktype,
+    )
+
+
 class PcapRecord(NamedTuple):
     """One streamed capture record; ``data`` is a zero-copy view.
 

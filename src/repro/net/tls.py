@@ -126,6 +126,46 @@ def iter_records(stream):
         position += 5 + length
 
 
+def scan_records(stream) -> tuple[list[tuple[int, "bytes | memoryview"]], int]:
+    """Complete TLS records at the head of ``stream``, plus bytes consumed.
+
+    The incremental-feed sibling of :func:`iter_records`: instead of
+    raising on a truncated trailing record, it stops cleanly before it
+    and reports how far it got, so a streaming caller can drop the
+    consumed prefix and retry once more bytes arrive.  A malformed
+    record header (wrong version) still raises :class:`TlsError` — that
+    is corruption, not an incomplete feed.
+    """
+    records: list[tuple[int, "bytes | memoryview"]] = []
+    position = 0
+    end = len(stream)
+    while position + 5 <= end:
+        record_type, version, length = _RECORD_HEADER.unpack(
+            stream[position : position + 5]
+        )
+        if version != RECORD_VERSION:
+            raise TlsError(f"unexpected TLS version 0x{version:04x}")
+        if position + 5 + length > end:
+            break  # partial trailing record — wait for more bytes
+        records.append((record_type, stream[position + 5 : position + 5 + length]))
+        position += 5 + length
+    return records, position
+
+
+def decrypt_record(body, session: TlsSession, offset: int) -> bytes:
+    """Decrypt one application-data record at its stream ``offset``.
+
+    ``offset`` is the record's index among *all* records of the flow
+    (the counter :func:`decrypt_stream` derives from ``enumerate``), so
+    incremental per-record decryption reproduces the batch keystream
+    exactly.
+    """
+    keystream = _keystream(
+        session.secret, session.client_random + _U64.pack(offset), len(body)
+    )
+    return _xor(body, keystream)
+
+
 def decrypt_stream(stream, session: TlsSession) -> bytes:
     """Recover plaintext from records given the session's secret.
 
@@ -136,10 +176,7 @@ def decrypt_stream(stream, session: TlsSession) -> bytes:
     for offset, (record_type, body) in enumerate(iter_records(stream)):
         if record_type != RECORD_TYPE_APPDATA:
             continue
-        keystream = _keystream(
-            session.secret, session.client_random + _U64.pack(offset), len(body)
-        )
-        out += _xor(body, keystream)
+        out += decrypt_record(body, session, offset)
     return bytes(out)
 
 

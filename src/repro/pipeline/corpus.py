@@ -108,7 +108,7 @@ class CorpusProcessor:
 
     # -- per-platform round trips ---------------------------------------
 
-    def _process_web(self, trace: RawTrace) -> ParsedTrace:
+    def process_web(self, trace: RawTrace) -> ParsedTrace:
         capture = (
             self._proxyman if trace.platform is Platform.DESKTOP else self._devtools
         )
@@ -120,19 +120,44 @@ class CorpusProcessor:
         har = har_from_json(har_to_json(artifact.har))
         return parsed_trace_from_har(artifact.meta, har)
 
-    def _process_mobile(self, trace: RawTrace) -> ParsedTrace:
+    def capture_mobile(self, trace: RawTrace):
+        """Capture (and, when configured, impair) one mobile trace.
+
+        Returns ``(meta, pcap, keylog_text)`` — the wire-level view
+        shared by the batch round trip below and the live streaming
+        source, so both see bit-identical capture bytes.
+        """
         artifact = self._pcapdroid.capture(trace)
-        pcap_bytes = artifact.pcap_bytes()
-        keylog_text = artifact.keylog_text()
+        pcap = artifact.pcap
+        if self.config.impair is not None:
+            # Same per-trace seed derivation as the live streaming
+            # source, so `generate --impair` artifacts replay to the
+            # exact result an in-memory impaired audit produces.
+            from repro.stream.impair import (
+                impair_pcap,
+                impairment_profile,
+                trace_impair_seed,
+            )
+
+            pcap = impair_pcap(
+                pcap,
+                impairment_profile(self.config.impair),
+                trace_impair_seed(self.config.seed, artifact.meta.name),
+            )
+        return artifact.meta, pcap, artifact.keylog_text()
+
+    def _process_mobile(self, trace: RawTrace) -> ParsedTrace:
+        meta, pcap, keylog_text = self.capture_mobile(trace)
+        pcap_bytes = pcap.to_bytes()
         if self.artifacts_dir is not None:
-            (self.artifacts_dir / f"{artifact.meta.name}.pcap").write_bytes(pcap_bytes)
-            (self.artifacts_dir / f"{artifact.meta.name}.keylog").write_text(keylog_text)
-        return parsed_trace_from_mobile(artifact.meta, pcap_bytes, keylog_text)
+            (self.artifacts_dir / f"{meta.name}.pcap").write_bytes(pcap_bytes)
+            (self.artifacts_dir / f"{meta.name}.keylog").write_text(keylog_text)
+        return parsed_trace_from_mobile(meta, pcap_bytes, keylog_text)
 
     def process_trace(self, trace: RawTrace) -> ParsedTrace:
         if trace.platform is Platform.MOBILE:
             return self._process_mobile(trace)
-        return self._process_web(trace)
+        return self.process_web(trace)
 
     def __iter__(self) -> Iterator[ParsedTrace]:
         for trace in self.generator.generate_corpus(unit_range=self.unit_range):

@@ -120,38 +120,57 @@ class DiffAudit:
 
     def run(self) -> DiffAuditResult:
         merged = self.engine().run()
-        specs = {spec.key: spec for spec in self.config.service_specs()}
-        labelers = {
-            key: labeler_for(spec, self.entity_db, self.blocklists)
-            for key, spec in specs.items()
-        }
-        flows = merged.flows
-
-        audits = {service: audit_service(flows, service) for service in specs}
-        linkability = linkability_matrix(flows, services=sorted(specs))
-
-        def owner_of(service: str, fqdn: str) -> str | None:
-            # Shards already labeled every contacted host; fall back to
-            # a fresh labeler only for destinations they never saw.
-            key = (service, fqdn)
-            if key in merged.owners:
-                return merged.owners[key]
-            return labelers[service].label(fqdn).owner
-
-        census = destination_census(flows, merged.contacted, owner_of)
-        edges = alluvial_edges(flows, owner_of)
-        common_set, common_count = most_common_linkable_set(flows)
-
-        return DiffAuditResult(
-            config=self.config,
-            flows=flows,
-            dataset=merged.dataset,
-            audits=audits,
-            linkability=linkability,
-            census=census,
-            alluvial=edges,
-            common_linkable_set=common_set,
-            common_linkable_count=common_count,
-            classified_keys=merged.classified_keys,
-            unique_data_types=len(merged.raw_keys),
+        return assemble_result(
+            self.config, merged, self.entity_db, self.blocklists
         )
+
+
+def assemble_result(
+    config: CorpusConfig,
+    merged,
+    entity_db: EntityDatabase,
+    blocklists: BlockListCollection,
+) -> DiffAuditResult:
+    """Stages 4–5 over merged engine state: audits, linkability, census.
+
+    Shared by the batch orchestrator above and the streaming session
+    (:class:`repro.stream.session.StreamAudit`) — both hand in an
+    :class:`repro.pipeline.engine.EngineOutput`, so however the corpus
+    was consumed, the downstream analyses and the exported result are
+    assembled by exactly one code path.
+    """
+    specs = {spec.key: spec for spec in config.service_specs()}
+    labelers = {
+        key: labeler_for(spec, entity_db, blocklists)
+        for key, spec in specs.items()
+    }
+    flows = merged.flows
+
+    audits = {service: audit_service(flows, service) for service in specs}
+    linkability = linkability_matrix(flows, services=sorted(specs))
+
+    def owner_of(service: str, fqdn: str) -> str | None:
+        # Shards already labeled every contacted host; fall back to
+        # a fresh labeler only for destinations they never saw.
+        key = (service, fqdn)
+        if key in merged.owners:
+            return merged.owners[key]
+        return labelers[service].label(fqdn).owner
+
+    census = destination_census(flows, merged.contacted, owner_of)
+    edges = alluvial_edges(flows, owner_of)
+    common_set, common_count = most_common_linkable_set(flows)
+
+    return DiffAuditResult(
+        config=config,
+        flows=flows,
+        dataset=merged.dataset,
+        audits=audits,
+        linkability=linkability,
+        census=census,
+        alluvial=edges,
+        common_linkable_set=common_set,
+        common_linkable_count=common_count,
+        classified_keys=merged.classified_keys,
+        unique_data_types=len(merged.raw_keys),
+    )

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import signal
 import sys
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
@@ -135,6 +136,57 @@ def default_classifier() -> Classifier:
     from repro.datatypes.majority import MajorityVoteClassifier
 
     return MajorityVoteClassifier(confidence_mode="avg")
+
+
+def prepare_classifier(
+    classifier: Classifier | None, cache_dir: Path | str | None
+) -> Classifier:
+    """The classifier stack every pipeline front door builds.
+
+    Defaults, then — with a ``--cache-dir`` — layers the persistent
+    store underneath, touching it eagerly so an unusable directory (a
+    file, unwritable, unrecoverably corrupt) fails before any
+    expensive work starts; store failures *mid-run* degrade to
+    uncached instead.  Shared by the batch engine and the streaming
+    session so the two can never wire the store differently.
+    """
+    if classifier is None:
+        classifier = default_classifier()
+    if cache_dir is not None:
+        classifier = PersistentClassifier.wrap(
+            classifier, store_path_for(cache_dir)
+        )
+        classifier.store
+    return classifier
+
+
+def record_run_stats(
+    classifier: Classifier,
+    *,
+    memory_hits: int,
+    store_hits: int,
+    misses: int,
+) -> None:
+    """Append one run's merged counters to the persistent store.
+
+    Best-effort by contract: the audit already succeeded, so a store
+    failure here warns instead of discarding the result.  No-op
+    without a persistent layer.
+    """
+    if not isinstance(classifier, PersistentClassifier):
+        return
+    try:
+        classifier.store.record_run(
+            classifier.inner.name,
+            memory_hits=memory_hits,
+            store_hits=store_hits,
+            misses=misses,
+        )
+    except StoreError as exc:
+        print(
+            f"warning: could not record run statistics: {exc}",
+            file=sys.stderr,
+        )
 
 
 def labeler_for(
@@ -491,6 +543,17 @@ class SequentialExecutor:
         return [work(task) for task in tasks]
 
 
+def _worker_ignores_interrupt() -> None:
+    """Pool-worker initializer: leave Ctrl-C to the parent.
+
+    A terminal SIGINT goes to the whole process group; without this,
+    every worker dies printing its own ``KeyboardInterrupt`` traceback
+    while the parent is already tearing the pool down.  The parent
+    terminates workers explicitly instead.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
 @dataclass
 class ProcessPoolShardExecutor:
     """Shard execution across worker processes.
@@ -500,6 +563,12 @@ class ProcessPoolShardExecutor:
     as they complete, but the returned list is always in the input
     tasks' order: the caller's canonical merge order never depends on
     worker scheduling.
+
+    Interrupts tear down cleanly: workers ignore SIGINT, and on any
+    exception in the parent (a Ctrl-C included) pending shards are
+    cancelled and running workers terminated before the exception
+    propagates — no traceback spew from the pool, no orphaned
+    processes grinding on work nobody will collect.
     """
 
     jobs: int = 2
@@ -514,10 +583,21 @@ class ProcessPoolShardExecutor:
             key=lambda i: (-getattr(tasks[i], "estimated_cost", 0.0), i),
         )
         results: list = [None] * len(tasks)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_worker_ignores_interrupt
+        ) as pool:
             futures = {pool.submit(work, tasks[i]): i for i in submission}
-            for future in as_completed(futures):
-                results[futures[future]] = future.result()
+            try:
+                for future in as_completed(futures):
+                    results[futures[future]] = future.result()
+            except BaseException:
+                # Snapshot the worker list first — shutdown(wait=False)
+                # nulls the executor's process table.
+                processes = list((getattr(pool, "_processes", None) or {}).values())
+                pool.shutdown(wait=False, cancel_futures=True)
+                for process in processes:
+                    process.terminate()
+                raise
         return results
 
 
@@ -575,16 +655,7 @@ class AuditEngine:
     cache_dir: Path | str | None = None
 
     def __post_init__(self) -> None:
-        if self.classifier is None:
-            self.classifier = default_classifier()
-        if self.cache_dir is not None:
-            self.classifier = PersistentClassifier.wrap(
-                self.classifier, store_path_for(self.cache_dir)
-            )
-            # Fail fast on an unusable --cache-dir (a file, unwritable,
-            # unrecoverably corrupt) before any expensive work starts;
-            # store failures *mid-run* degrade to uncached instead.
-            self.classifier.store
+        self.classifier = prepare_classifier(self.classifier, self.cache_dir)
         if self.entity_db is None:
             from repro.destinations.entities import default_entity_db
 
@@ -700,21 +771,13 @@ class AuditEngine:
             # sub-shards and let the executor run them unordered.
             tasks = split_shard_tasks(tasks, self.jobs)
         merged = self.merge(executor.map_shards(tasks))
-        if isinstance(self.classifier, PersistentClassifier):
-            # Parallel shards write through the shared store file; the
-            # parent process appends the run's merged counters so
-            # ``cache stats`` can report per-run hit rates.  A store
-            # failure here must not discard the completed audit.
-            try:
-                self.classifier.store.record_run(
-                    self.classifier.inner.name,
-                    memory_hits=merged.cache_hits,
-                    store_hits=merged.store_hits,
-                    misses=merged.store_misses,
-                )
-            except StoreError as exc:
-                print(
-                    f"warning: could not record run statistics: {exc}",
-                    file=sys.stderr,
-                )
+        # Parallel shards write through the shared store file; the
+        # parent process appends the run's merged counters so
+        # ``cache stats`` can report per-run hit rates.
+        record_run_stats(
+            self.classifier,
+            memory_hits=merged.cache_hits,
+            store_hits=merged.store_hits,
+            misses=merged.store_misses,
+        )
         return merged

@@ -166,14 +166,20 @@ def write_manifest(
     """
     directory = Path(directory)
     services = list(dict.fromkeys(record["service"] for record in records))
+    config_block = {
+        "seed": config.seed,
+        "scale": config.scale,
+        "profile": config.profile,
+        "services": services,
+    }
+    if config.impair is not None:
+        # Recorded only when set, so clean corpora keep their manifest
+        # bytes — an impaired corpus must say so or replay would
+        # silently mislabel it as clean traffic.
+        config_block["impair"] = config.impair
     document = {
         "version": MANIFEST_VERSION,
-        "config": {
-            "seed": config.seed,
-            "scale": config.scale,
-            "profile": config.profile,
-            "services": services,
-        },
+        "config": config_block,
         "traces": records,
     }
     path = directory / MANIFEST_NAME
@@ -202,6 +208,15 @@ def merge_manifest_traces(
                 f"{field_name}={old_config[field_name]!r} but this run uses "
                 f"{new_value!r}; use a fresh --output directory"
             )
+    # ``impair`` is absent from clean manifests, so compare through the
+    # None default — mixing impaired and clean captures in one corpus
+    # directory would be a corpus no single config describes.
+    if old_config.get("impair") != config.impair:
+        raise ReplayError(
+            f"cannot extend this artifacts directory: its manifest records "
+            f"impair={old_config.get('impair')!r} but this run uses "
+            f"{config.impair!r}; use a fresh --output directory"
+        )
     regenerated = {record["service"] for record in records}
     kept = [
         record
@@ -345,6 +360,7 @@ def replay_config(
     seed: int | None = None,
     scale: float | None = None,
     profile: str | None = None,
+    impair: str | None = None,
     services: tuple[str, ...] | None = None,
     fallback: CorpusConfig | None = None,
 ) -> CorpusConfig:
@@ -376,6 +392,7 @@ def replay_config(
             seed=pick("seed", seed),
             scale=pick("scale", scale),
             profile=pick("profile", profile),
+            impair=pick("impair", impair),
             services=tuple(services),
         )
     except (TypeError, ValueError) as exc:

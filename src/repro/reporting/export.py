@@ -98,6 +98,9 @@ def result_to_json(
             "seed": result.config.seed,
             "scale": result.config.scale,
             "profile": result.config.profile,
+            # null for a clean link — an impaired result must say so,
+            # or archived numbers would mislabel as clean traffic.
+            "impair": result.config.impair,
             "effective_scale": result.config.effective_scale,
             "services": sorted(result.audits),
         },

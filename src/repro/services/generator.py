@@ -123,11 +123,19 @@ class CorpusConfig:
     # stable-key bundles survive classification, so no overshoot).
     fanout_overshoot: float = 1.0
     profile: str = "standard"  # named load profile, see LOAD_PROFILES
+    # Named network-impairment profile applied to every mobile capture
+    # (see repro.stream.impair.IMPAIRMENT_PROFILES); None = clean link.
+    # Impairment is seeded per trace, so generation stays deterministic.
+    impair: str | None = None
 
     def __post_init__(self) -> None:
         if self.profile not in LOAD_PROFILES:
             known = ", ".join(sorted(LOAD_PROFILES))
             raise ValueError(f"unknown load profile {self.profile!r} (known: {known})")
+        if self.impair is not None:
+            from repro.stream.impair import impairment_profile
+
+            impairment_profile(self.impair)  # fail fast on unknown names
 
     @property
     def load_profile(self) -> LoadProfile:

@@ -151,6 +151,23 @@ class TestRepoTrajectory:
         ratios = compare_entries(second, first)
         assert ratios["decode"]["throughput_speedup"] >= 2.0
 
+    def test_trajectory_records_stream_workload(self):
+        """From BENCH_2 on, the streaming decoder is part of the
+        recorded suite: a `stream` record with real throughput."""
+        from pathlib import Path
+
+        root = Path(__file__).parent.parent
+        entries = dict(bench_entries(root))
+        latest = load_entry(entries[max(entries)])
+        streams = [
+            record
+            for record in latest["workloads"]
+            if record["workload"] == "stream"
+        ]
+        assert streams, "latest BENCH entry must include the stream workload"
+        assert streams[0]["throughput"] > 0
+        assert streams[0]["throughput_unit"] == "MB/s"
+
     def test_cli_exposes_bench_subcommand(self):
         from repro.cli import build_parser
 

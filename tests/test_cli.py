@@ -427,3 +427,194 @@ class TestCacheCommand:
         assert code == 0
         assert "Contact Information" in captured.out
         assert "disabled for this process" in captured.err
+
+
+class TestVersionFlag:
+    def test_version_exits_zero_and_prints(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        output = capsys.readouterr().out
+        import repro
+
+        assert output.strip() == f"repro {repro.__version__}"
+
+    def test_version_prefers_package_metadata(self, monkeypatch):
+        from repro import cli
+
+        monkeypatch.setattr(
+            "importlib.metadata.version", lambda name: "9.9.9-test"
+        )
+        assert cli._package_version() == "9.9.9-test"
+
+
+class TestImpairFlag:
+    def test_audit_generate_report_accept_impair(self):
+        for argv in (
+            ["audit", "--impair", "reorder"],
+            ["generate", "--impair", "reorder-dup"],
+            ["report", "table5", "--impair", "duplicate"],
+        ):
+            assert build_parser().parse_args(argv).impair == argv[-1]
+
+    def test_unknown_impair_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["audit", "--impair", "apocalyptic"])
+
+    def test_generate_impair_replays_byte_identical(self, tmp_path, capsys):
+        base = ["--services", "youtube", "--scale", "0.003", "--seed", "7",
+                "--impair", "reorder-dup"]
+        main(["generate", *base, "--output", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["audit", *base, "--json"]) == 0
+        direct = capsys.readouterr().out
+        # The manifest carries the impair profile; replay fills it in.
+        assert main(["audit", "--from-artifacts", str(tmp_path), "--json"]) == 0
+        assert capsys.readouterr().out == direct
+
+
+class TestStreamCommand:
+    def _generate(self, tmp_path, capsys):
+        base = ["--services", "youtube", "--scale", "0.003", "--seed", "7"]
+        main(["generate", *base, "--output", str(tmp_path)])
+        capsys.readouterr()
+        return base
+
+    def test_requires_exactly_one_source(self, capsys):
+        assert main(["stream"]) == 2
+        assert "exactly one source" in capsys.readouterr().err
+        assert main(["stream", "--live", "--pcap", "x.pcap"]) == 2
+        assert "exactly one source" in capsys.readouterr().err
+
+    def test_follow_requires_pcap(self, capsys):
+        assert main(["stream", "--live", "--follow"]) == 2
+        assert "--follow requires --pcap" in capsys.readouterr().err
+
+    def test_stream_artifacts_matches_batch_audit(self, tmp_path, capsys):
+        base = self._generate(tmp_path, capsys)
+        assert main(["audit", *base, "--json"]) == 0
+        batch = capsys.readouterr().out
+        assert main(["stream", "--from-artifacts", str(tmp_path), "--json"]) == 0
+        assert capsys.readouterr().out == batch
+
+    def test_stream_live_matches_batch_audit(self, capsys):
+        base = ["--services", "youtube", "--scale", "0.003", "--seed", "7"]
+        assert main(["audit", *base, "--json"]) == 0
+        batch = capsys.readouterr().out
+        assert main(["stream", "--live", *base, "--json"]) == 0
+        assert capsys.readouterr().out == batch
+
+    def test_snapshots_written(self, tmp_path, capsys):
+        base = self._generate(tmp_path, capsys)
+        snaps = tmp_path / "snaps"
+        code = main(
+            [
+                "stream",
+                "--from-artifacts",
+                str(tmp_path),
+                "--snapshot-every",
+                "3",
+                "--snapshot-dir",
+                str(snaps),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "snapshot 1:" in captured.err
+        numbered = sorted(snaps.glob("snapshot_0*.json"))
+        assert numbered
+        first = json.loads(numbered[0].read_text())
+        assert first["traces"] == 3
+        final = json.loads((snaps / "snapshot_final.json").read_text())
+        assert final["traces"] >= first["traces"]
+
+    def test_single_pcap_stream(self, tmp_path, capsys):
+        self._generate(tmp_path, capsys)
+        pcap = sorted(tmp_path.glob("*.pcap"))[0]
+        keylog = pcap.with_suffix(".keylog")
+        code = main(
+            [
+                "stream",
+                "--pcap",
+                str(pcap),
+                "--keylog",
+                str(keylog),
+                "--scale",
+                "0.003",
+                "--seed",
+                "7",
+                "--json",
+            ]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["config"]["services"] == ["youtube"]
+
+    def test_missing_artifacts_directory_errors(self, tmp_path, capsys):
+        assert main(["stream", "--from-artifacts", str(tmp_path / "nope")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_unstemmable_pcap_name_errors(self, tmp_path, capsys):
+        pcap = tmp_path / "capture.pcap"
+        pcap.write_bytes(b"")
+        assert main(["stream", "--pcap", str(pcap)]) == 2
+        assert "cannot derive trace metadata" in capsys.readouterr().err
+
+    def test_interrupt_flushes_final_snapshot(self, tmp_path, capsys, monkeypatch):
+        base = self._generate(tmp_path, capsys)
+        snaps = tmp_path / "snaps"
+        import repro.stream as stream_package
+
+        original = stream_package.ArtifactStreamSource
+
+        class InterruptingSource(original):
+            def events(self):
+                iterator = super().events()
+                yield next(iterator)
+                yield next(iterator)
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr(stream_package, "ArtifactStreamSource", InterruptingSource)
+        code = main(
+            [
+                "stream",
+                "--from-artifacts",
+                str(tmp_path),
+                "--snapshot-dir",
+                str(snaps),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 130
+        assert "interrupted after 2 traces" in captured.err
+        final = json.loads((snaps / "snapshot_final.json").read_text())
+        assert final["traces"] == 2
+
+
+class TestGracefulInterrupt:
+    def test_main_translates_keyboard_interrupt_to_130(self, capsys, monkeypatch):
+        from repro import cli
+
+        def explode(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "cmd_distill", explode)
+        parser_args = ["distill"]
+        assert main(parser_args) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_pool_executor_tears_down_on_worker_interrupt(self):
+        from repro.pipeline.engine import ProcessPoolShardExecutor
+
+        executor = ProcessPoolShardExecutor(jobs=2)
+        with pytest.raises(KeyboardInterrupt):
+            executor.map_shards(list(range(4)), work=_interrupt_in_worker)
+
+
+def _interrupt_in_worker(task):
+    if task == 0:
+        raise KeyboardInterrupt
+    import time
+
+    time.sleep(0.2)
+    return task

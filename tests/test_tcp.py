@@ -5,7 +5,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.net.packet import TcpHeader
+from repro.net.packet import TcpHeader, TcpSegment
 from repro.net.tcp import DEFAULT_MSS, FlowId, TcpReassembler, segment_request
 
 FLOW = FlowId(client_ip="10.0.0.1", client_port=40000, server_ip="34.0.0.1", server_port=443)
@@ -118,3 +118,138 @@ class TestReassembly:
         for frame in segment_request(b"x", FLOW, 0.0):
             reassembler.add_frame(frame)
         assert len(reassembler) == 1
+
+
+def segment(seq: int, payload: bytes, flags: int = 0x18, ts: float = 0.0) -> TcpSegment:
+    return TcpSegment(
+        timestamp=ts,
+        src_ip=FLOW.client_ip,
+        src_port=FLOW.client_port,
+        dst_ip=FLOW.server_ip,
+        dst_port=FLOW.server_port,
+        seq=seq,
+        flags=flags,
+        payload=payload,
+    )
+
+
+def impaired_segments(payload: bytes, seed: int) -> list[TcpSegment]:
+    """SYN + MSS segments + FIN, plus seeded reorder / duplication /
+    partial-overlap retransmissions carrying consistent stream bytes."""
+    rng = random.Random(seed)
+    isn = 1
+    segments = [segment(isn, b"", flags=TcpHeader.FLAG_SYN)]
+    offsets = list(range(0, len(payload), 700))
+    for start in offsets:
+        segments.append(segment(isn + 1 + start, payload[start : start + 700]))
+    # Partial-overlap retransmissions: random ranges of the true
+    # stream.  They avoid the originals' exact sequence numbers — a
+    # *shorter* same-seq copy would shadow an original under the
+    # first-copy-wins rule and legitimately leave a hole, which is a
+    # loss scenario, not a recoverable-overlap one.
+    for _ in range(rng.randint(0, 6)):
+        start = rng.randrange(0, len(payload))
+        if start % 700 == 0:
+            start += 1
+            if start >= len(payload):
+                continue
+        stop = min(len(payload), start + rng.randint(1, 1500))
+        segments.append(segment(isn + 1 + start, payload[start:stop]))
+    # Exact duplicates.
+    for _ in range(rng.randint(0, 4)):
+        segments.append(rng.choice(segments[1:]))
+    segments.append(
+        segment(isn + 1 + len(payload), b"", flags=TcpHeader.FLAG_FIN | TcpHeader.FLAG_ACK)
+    )
+    rng.shuffle(segments)
+    return segments
+
+
+class TestIncrementalReassembly:
+    """The streaming API (drain_ready/pop_flow) against the batch walk."""
+
+    def run_incremental(self, segments) -> tuple[bytes, bool, "TcpReassembler"]:
+        reassembler = TcpReassembler()
+        drained = bytearray()
+        for item in segments:
+            reassembler.add_segment(item)
+            drained += reassembler.drain_ready(FLOW)
+        flow = reassembler.pop_flow(FLOW)
+        return bytes(drained) + flow.data, flow.complete, reassembler
+
+    def run_batch(self, segments) -> tuple[bytes, bool]:
+        reassembler = TcpReassembler()
+        for item in segments:
+            reassembler.add_segment(item)
+        (flow,) = reassembler.flows()
+        return flow.data, flow.complete
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(min_size=1, max_size=6000), st.integers(0, 2**31))
+    def test_incremental_equals_batch_under_impairment(self, payload, seed):
+        segments = impaired_segments(payload, seed)
+        batch_data, batch_complete = self.run_batch(segments)
+        inc_data, inc_complete, reassembler = self.run_incremental(segments)
+        assert inc_data == batch_data
+        assert inc_complete == batch_complete
+        # Payload reconstruction is exact despite the impairment.
+        assert batch_data == payload
+        assert batch_complete
+        # Everything was released: popping left no buffered bytes.
+        assert reassembler.buffered_bytes() == 0
+        assert len(reassembler) == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=1, max_size=6000), st.integers(0, 2**31))
+    def test_incremental_equals_batch_with_holes(self, payload, seed):
+        rng = random.Random(seed)
+        segments = impaired_segments(payload, seed)
+        # Drop a random data segment outright: both paths must agree on
+        # the (possibly incomplete) result, byte for byte.
+        data_indexes = [i for i, s in enumerate(segments) if s.payload]
+        if data_indexes:
+            del segments[rng.choice(data_indexes)]
+        batch_data, batch_complete = self.run_batch(segments)
+        inc_data, inc_complete, _ = self.run_incremental(segments)
+        assert inc_data == batch_data
+        assert inc_complete == batch_complete
+
+    def test_drain_releases_memory_as_stream_arrives(self):
+        payload = b"m" * 50_000
+        reassembler = TcpReassembler()
+        high_water = 0
+        drained = bytearray()
+        for frame in segment_request(payload, FLOW, 0.0):
+            reassembler.add_frame(frame)
+            drained += reassembler.drain_ready(FLOW)
+            high_water = max(high_water, reassembler.buffered_bytes())
+        # In-order traffic drains continuously: the reassembler never
+        # holds more than one segment's bytes at a time.
+        assert high_water <= DEFAULT_MSS
+        flow = reassembler.pop_flow(FLOW)
+        assert bytes(drained) + flow.data == payload
+        assert flow.complete
+
+    def test_idle_and_lru_bookkeeping(self):
+        other = FlowId(
+            client_ip="10.0.0.9", client_port=1, server_ip="34.0.0.9", server_port=443
+        )
+        reassembler = TcpReassembler()
+        reassembler.add_segment(segment(1, b"a", ts=10.0))
+        reassembler.add_segment(
+            TcpSegment(
+                timestamp=200.0,
+                src_ip=other.client_ip,
+                src_port=other.client_port,
+                dst_ip=other.server_ip,
+                dst_port=other.server_port,
+                seq=1,
+                flags=0x18,
+                payload=b"b",
+            )
+        )
+        assert reassembler.idle_flows(now=200.0, timeout=60.0) == [FLOW]
+        assert reassembler.lru_flow() == FLOW
+        assert reassembler.flow_ids() == [FLOW, other]
+        reassembler.pop_flow(FLOW)
+        assert reassembler.lru_flow() == other

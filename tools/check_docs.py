@@ -15,7 +15,12 @@ Scans README.md and docs/*.md for
   ``--option`` token anywhere in the file must exist somewhere in the
   CLI (no stale flags);
 * ``docs/performance.md`` — the documented ``BENCH_<n>.json`` schema
-  must cover every field in ``repro.bench.BENCH_SCHEMA_FIELDS``.
+  must cover every field in ``repro.bench.BENCH_SCHEMA_FIELDS``;
+* ``docs/cli.md`` — every named impairment profile
+  (``repro.stream.impair.IMPAIRMENT_PROFILES``) and every named load
+  profile (``repro.services.generator.LOAD_PROFILES``) must appear as
+  an inline-code token, so ``--impair``/``--profile`` choices are
+  never undocumented.
 
 Run from the repo root with ``PYTHONPATH=src python tools/check_docs.py``.
 Exits non-zero listing every broken reference.
@@ -152,6 +157,35 @@ def check_cli_reference() -> list[str]:
     return errors
 
 
+def check_named_profiles() -> list[str]:
+    """Every named impairment/load profile must be documented.
+
+    ``--impair`` and ``--profile`` take closed sets of names; a
+    profile added to the code without a line in ``docs/cli.md`` would
+    be invisible to users reading the reference.
+    """
+    from repro.services.generator import LOAD_PROFILES
+    from repro.stream.impair import IMPAIRMENT_PROFILES
+
+    path = ROOT / "docs" / "cli.md"
+    rel = path.relative_to(ROOT)
+    if not path.exists():
+        return [f"{rel}: missing"]
+    text = path.read_text(encoding="utf-8")
+    documented = set(re.findall(r"`([a-z][a-z-]*)`", text))
+    errors = [
+        f"{rel}: impairment profile `{name}` is not documented"
+        for name in IMPAIRMENT_PROFILES
+        if name not in documented
+    ]
+    errors.extend(
+        f"{rel}: load profile `{name}` is not documented"
+        for name in LOAD_PROFILES
+        if name not in documented
+    )
+    return errors
+
+
 def check_bench_schema() -> list[str]:
     """``docs/performance.md`` must document every BENCH schema field.
 
@@ -179,6 +213,7 @@ def main() -> int:
     errors: list[str] = []
     errors.extend(check_cli_reference())
     errors.extend(check_bench_schema())
+    errors.extend(check_named_profiles())
     for path in DOC_FILES:
         if not path.exists():
             errors.append(f"{path.relative_to(ROOT)}: missing")
