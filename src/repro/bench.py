@@ -26,6 +26,15 @@ workload record carries the schema fields in
 When a previous entry exists, the new document embeds a
 ``compared_to`` block with per-workload throughput ratios against the
 most recent entry that ran the same workload with the same knobs.
+When both audit workloads run, the document also carries
+``audit_parallel_vs_sequential`` — the in-entry ratio of the parallel
+audit's throughput to the sequential audit's, the number the
+``--min-parallel-efficiency`` gate holds.
+
+Audit workloads run under stage profiling
+(:mod:`repro.pipeline.profile`): the best run's stage attribution is
+written beside the entry as ``BENCH_<n>.profile.json``, so every
+recorded throughput number comes with the breakdown that explains it.
 """
 
 from __future__ import annotations
@@ -42,6 +51,7 @@ from repro import CorpusConfig, DiffAudit
 from repro.capture.decrypt import decrypt_mobile_artifact
 from repro.capture.pcapdroid import PcapdroidCapture
 from repro.model import Platform
+from repro.pipeline.profile import validate_profile
 from repro.services.generator import TrafficGenerator
 
 BENCH_VERSION = 1
@@ -208,21 +218,31 @@ def _stream_workload(scale: float, profile: str, repeats: int) -> dict:
 
 
 def _audit_workload(scale: float, profile: str, jobs: int, repeats: int) -> dict:
-    """End-to-end audit wall time (generate → decode → classify → audit)."""
+    """End-to-end audit wall time (generate → decode → classify → audit).
+
+    Runs under stage profiling; the best run's profile document rides
+    back to the parent under the ``profile`` key so ``run_bench`` can
+    record it beside the entry.
+    """
     config = CorpusConfig(scale=scale, profile=profile)
     traces = sum(
         len(TrafficGenerator(config).trace_units(spec))
         for spec in config.service_specs()
     )
     best = float("inf")
+    best_profile: dict = {}
     for _ in range(repeats):
         start = time.perf_counter()
-        DiffAudit(config, jobs=jobs).run()
-        best = min(best, time.perf_counter() - start)
+        _, stage_profile = DiffAudit(config, jobs=jobs).run_profiled()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+            best_profile = stage_profile
     return {
         "wall_time_s": round(best, 4),
         "throughput": round(traces / best, 3),
         "throughput_unit": "traces/s",
+        "profile": best_profile,
         "detail": {"traces": traces},
     }
 
@@ -335,6 +355,7 @@ def run_bench(
     root = Path(root)
     rev = git_revision()
     records: list[dict] = []
+    profiles: dict[str, dict] = {}
     for name in workloads:
         if name == "decode":
             payload = _run_isolated(_decode_workload, (scale, profile, repeats))
@@ -350,6 +371,10 @@ def run_bench(
             knobs = {"jobs": jobs}
         else:
             raise BenchError(f"unknown workload {name!r}")
+        stage_profile = payload.pop("profile", None)
+        if stage_profile:
+            stage_profile["workload"] = name
+            profiles[name] = stage_profile
         detail = payload.pop("detail", {})
         record = {
             "workload": name,
@@ -372,6 +397,18 @@ def run_bench(
         "python": ".".join(str(v) for v in sys.version_info[:3]),
         "workloads": records,
     }
+    # In-entry parallel efficiency: parallel audit throughput over the
+    # sequential audit's, measured in the same entry on the same host —
+    # the one number that must not dip below 1.0 for --jobs to be worth
+    # defaulting on.
+    sequential = next((r for r in records if r["workload"] == "audit"), None)
+    parallel = next(
+        (r for r in records if r["workload"] == "audit-parallel"), None
+    )
+    if sequential and parallel and sequential.get("throughput"):
+        document["audit_parallel_vs_sequential"] = round(
+            parallel["throughput"] / sequential["throughput"], 3
+        )
     # Baseline = the most recent entry with at least one like-for-like
     # record, not blindly the newest file: an interleaved --quick CI
     # entry must not disarm comparisons for full-scale recordings.
@@ -384,7 +421,70 @@ def run_bench(
     root.mkdir(parents=True, exist_ok=True)
     path = root / f"BENCH_{index}.json"
     path.write_text(json.dumps(document, indent=1) + "\n", encoding="utf-8")
+    if profiles:
+        for stage_profile in profiles.values():
+            validate_profile(stage_profile)
+        profile_path = root / f"BENCH_{index}.profile.json"
+        profile_path.write_text(
+            json.dumps(profiles, indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
     return path, document
+
+
+def evaluate_gates(
+    document: dict,
+    min_decode_speedup: float | None = None,
+    min_audit_speedup: float | None = None,
+    min_audit_parallel_speedup: float | None = None,
+    min_parallel_efficiency: float | None = None,
+) -> tuple[list[str], list[str]]:
+    """Apply the perf gates to a recorded entry.
+
+    Returns ``(warnings, errors)``: a gate that cannot be evaluated
+    (no comparable baseline, missing workload) warns instead of
+    silently disarming; a gate below its minimum is an error.
+    """
+    warnings: list[str] = []
+    errors: list[str] = []
+    # Trajectory gates: throughput vs the previous comparable entry.
+    for workload, minimum in (
+        ("decode", min_decode_speedup),
+        ("audit", min_audit_speedup),
+        ("audit-parallel", min_audit_parallel_speedup),
+    ):
+        if minimum is None:
+            continue
+        speedup = (
+            document.get("compared_to", {})
+            .get(workload, {})
+            .get("throughput_speedup")
+        )
+        if speedup is None:
+            warnings.append(
+                f"--min-{workload}-speedup not evaluated — no previous "
+                f"entry ran the {workload} workload with these knobs"
+            )
+        elif speedup < minimum:
+            errors.append(
+                f"{workload} speedup {speedup:.2f}x is below the "
+                f"required {minimum:.2f}x"
+            )
+    # In-entry gate: the parallel audit must beat (or at least match)
+    # the sequential one measured in the same run.
+    if min_parallel_efficiency is not None:
+        ratio = document.get("audit_parallel_vs_sequential")
+        if ratio is None:
+            warnings.append(
+                "--min-parallel-efficiency not evaluated — the entry "
+                "does not carry both audit workloads"
+            )
+        elif ratio < min_parallel_efficiency:
+            errors.append(
+                f"audit parallel efficiency {ratio:.2f}x is below the "
+                f"required {min_parallel_efficiency:.2f}x"
+            )
+    return warnings, errors
 
 
 def render_report(path: Path, document: dict) -> str:
@@ -395,6 +495,9 @@ def render_report(path: Path, document: dict) -> str:
             f"{record['throughput']:>10.3f} {record['throughput_unit']:<9} "
             f"peak RSS {record['peak_rss_kb'] / 1024:.0f} MB"
         )
+    ratio = document.get("audit_parallel_vs_sequential")
+    if ratio is not None:
+        lines.append(f"audit parallel vs sequential: {ratio:.2f}x")
     compared = document.get("compared_to")
     if compared:
         lines.append(f"vs {compared['file']}:")
@@ -422,6 +525,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--profile", default="standard")
     parser.add_argument("--jobs", type=int, default=2)
     parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help=f"runs per workload, best-of-N recorded (default "
+        f"{DEFAULT_REPEATS}, or {QUICK_REPEATS} with --quick); raise on "
+        "noisy hosts",
+    )
+    parser.add_argument(
         "--output-dir",
         default=".",
         help="directory receiving BENCH_<n>.json (default: current directory)",
@@ -433,11 +544,34 @@ def main(argv: list[str] | None = None) -> int:
         help="fail unless decode throughput is at least this multiple of "
         "the previous comparable entry",
     )
+    parser.add_argument(
+        "--min-audit-speedup",
+        type=float,
+        default=None,
+        help="fail unless audit throughput is at least this multiple of "
+        "the previous comparable entry",
+    )
+    parser.add_argument(
+        "--min-audit-parallel-speedup",
+        type=float,
+        default=None,
+        help="fail unless audit-parallel throughput is at least this "
+        "multiple of the previous comparable entry",
+    )
+    parser.add_argument(
+        "--min-parallel-efficiency",
+        type=float,
+        default=None,
+        help="fail unless this entry's audit-parallel throughput is at "
+        "least this multiple of its sequential audit throughput",
+    )
     args = parser.parse_args(argv)
     scale = args.scale if args.scale is not None else (
         QUICK_SCALE if args.quick else DEFAULT_SCALE
     )
-    repeats = QUICK_REPEATS if args.quick else DEFAULT_REPEATS
+    repeats = args.repeats if args.repeats is not None else (
+        QUICK_REPEATS if args.quick else DEFAULT_REPEATS
+    )
     try:
         path, document = run_bench(
             Path(args.output_dir),
@@ -450,27 +584,19 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     print(render_report(path, document))
-    if args.min_decode_speedup is not None:
-        speedup = (
-            document.get("compared_to", {})
-            .get("decode", {})
-            .get("throughput_speedup")
-        )
-        if speedup is None:
-            # Never silently disarm the gate: say why it could not run.
-            print(
-                "warning: --min-decode-speedup not evaluated — no previous "
-                "entry ran the decode workload with these knobs",
-                file=sys.stderr,
-            )
-        elif speedup < args.min_decode_speedup:
-            print(
-                f"error: decode speedup {speedup:.2f}x is below the required "
-                f"{args.min_decode_speedup:.2f}x",
-                file=sys.stderr,
-            )
-            return 1
-    return 0
+    warnings, errors = evaluate_gates(
+        document,
+        min_decode_speedup=args.min_decode_speedup,
+        min_audit_speedup=args.min_audit_speedup,
+        min_audit_parallel_speedup=args.min_audit_parallel_speedup,
+        min_parallel_efficiency=args.min_parallel_efficiency,
+    )
+    for message in warnings:
+        # Never silently disarm a gate: say why it could not run.
+        print(f"warning: {message}", file=sys.stderr)
+    for message in errors:
+        print(f"error: {message}", file=sys.stderr)
+    return 1 if errors else 0
 
 
 if __name__ == "__main__":

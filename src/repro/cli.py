@@ -31,6 +31,7 @@ from pathlib import Path
 
 from repro import CorpusConfig, DiffAudit
 from repro.datatypes.store import StoreError
+from repro.pipeline.engine import EXECUTOR_KINDS
 from repro.pipeline.replay import ReplayCorpus, ReplayError, replay_config
 from repro.services.catalog import SERVICES
 from repro.services.generator import LOAD_PROFILES
@@ -83,6 +84,15 @@ def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
         type=_positive_int,
         default=1,
         help="worker processes for per-service shards (default 1: sequential)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTOR_KINDS,
+        default="auto",
+        help="shard executor: auto picks sequential at --jobs 1, a thread "
+        "pool for replayed corpora (decode and a warm store release the "
+        "GIL) and a process pool otherwise; results are byte-identical "
+        "for every choice",
     )
     _add_impair_argument(parser)
 
@@ -223,15 +233,21 @@ def cmd_audit(args) -> int:
         return 2
     try:
         corpus = _scan_replay_corpus(args)
-        result = DiffAudit(
+        result, profile = DiffAudit(
             _config(args, corpus),
             replay=corpus,
             jobs=args.jobs,
+            executor=args.executor,
             cache_dir=args.cache_dir,
-        ).run()
+        ).run_profiled()
     except (ReplayError, StoreError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.profile_out:
+        from repro.pipeline.profile import write_profile
+
+        write_profile(args.profile_out, profile)
+        print(f"wrote profile to {args.profile_out}", file=sys.stderr)
     provenance = corpus.provenance() if args.with_provenance else None
     return _emit_result(result, json_flag=args.json, output=args.output,
                         provenance=provenance)
@@ -471,7 +487,9 @@ def cmd_generate(args) -> int:
 
     directory = Path(args.output)
     try:
-        count = generate_corpus_artifacts(_config(args), directory, jobs=args.jobs)
+        count = generate_corpus_artifacts(
+            _config(args), directory, jobs=args.jobs, executor=args.executor
+        )
     except ReplayError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -486,6 +504,7 @@ def cmd_report(args) -> int:
             _config(args, corpus),
             replay=corpus,
             jobs=args.jobs,
+            executor=args.executor,
             cache_dir=args.cache_dir,
         ).run()
     except (ReplayError, StoreError) as exc:
@@ -691,8 +710,20 @@ def cmd_bench(args) -> int:
         argv.extend(["--scale", str(args.scale)])
     if args.profile is not None:
         argv.extend(["--profile", args.profile])
+    if args.repeats is not None:
+        argv.extend(["--repeats", str(args.repeats)])
     if args.min_decode_speedup is not None:
         argv.extend(["--min-decode-speedup", str(args.min_decode_speedup)])
+    if args.min_audit_speedup is not None:
+        argv.extend(["--min-audit-speedup", str(args.min_audit_speedup)])
+    if args.min_audit_parallel_speedup is not None:
+        argv.extend(
+            ["--min-audit-parallel-speedup", str(args.min_audit_parallel_speedup)]
+        )
+    if args.min_parallel_efficiency is not None:
+        argv.extend(
+            ["--min-parallel-efficiency", str(args.min_parallel_efficiency)]
+        )
     return bench_main(argv)
 
 
@@ -740,6 +771,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="include replay provenance (source directory, trace counts) in "
         "the JSON summary; requires --from-artifacts and --json",
+    )
+    audit.add_argument(
+        "--profile-out",
+        metavar="FILE",
+        default=None,
+        help="write a stage-attribution profile of this run (wall time per "
+        "pipeline stage, executor overheads, IPC payload sizes) as JSON",
     )
     audit.set_defaults(func=cmd_audit)
 
@@ -976,6 +1014,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the audit-parallel workload (default 2)",
     )
     bench.add_argument(
+        "--repeats",
+        type=_positive_int,
+        default=None,
+        help="runs per workload, best-of-N recorded (default 3, or 1 with "
+        "--quick); raise on noisy hosts",
+    )
+    bench.add_argument(
         "--output-dir",
         default=".",
         help="directory receiving BENCH_<n>.json (default: current directory)",
@@ -986,6 +1031,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="exit non-zero unless decode throughput is at least this "
         "multiple of the previous comparable entry",
+    )
+    bench.add_argument(
+        "--min-audit-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero unless audit throughput is at least this "
+        "multiple of the previous comparable entry",
+    )
+    bench.add_argument(
+        "--min-audit-parallel-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero unless audit-parallel throughput is at least "
+        "this multiple of the previous comparable entry",
+    )
+    bench.add_argument(
+        "--min-parallel-efficiency",
+        type=float,
+        default=None,
+        help="exit non-zero unless this entry's own audit-parallel "
+        "throughput is at least this multiple of its sequential audit "
+        "throughput (needs >1 physical core to exceed 1.0)",
     )
     bench.set_defaults(func=cmd_bench)
 

@@ -48,6 +48,18 @@ class Classifier(Protocol):
         return [self.classify(text) for text in texts]
 
 
+def unique_texts(texts: list[str]) -> list[str]:
+    """First-occurrence-ordered unique texts of a batch.
+
+    The shared dedup primitive of every batched classifier path
+    (caching layers, the persistent store, the fuzzy matchers): score
+    each distinct key once, then fan the verdicts back out to the
+    original multiset.  Order is first occurrence, so batch output
+    built from the deduplicated results is deterministic.
+    """
+    return list(dict.fromkeys(texts))
+
+
 def batch_classify(
     classifier: Classifier, texts: list[str]
 ) -> list[Classification]:

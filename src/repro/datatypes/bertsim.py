@@ -16,8 +16,9 @@ from __future__ import annotations
 import hashlib
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 
-from repro.datatypes.base import Classification
+from repro.datatypes.base import Classification, unique_texts
 from repro.ontology import ONTOLOGY
 from repro.ontology.lexicon import split_key
 from repro.ontology.nodes import Level3
@@ -25,8 +26,14 @@ from repro.ontology.nodes import Level3
 _DIM = 24
 
 
-def token_embedding(token: str) -> list[float]:
-    """Deterministic pseudo-random unit vector for a token."""
+@lru_cache(maxsize=65536)
+def token_embedding(token: str) -> tuple[float, ...]:
+    """Deterministic pseudo-random unit vector for a token.
+
+    Memoized: the corpus's key universe yields a few thousand distinct
+    character trigrams that are re-embedded millions of times.  The
+    returned tuple is immutable, so the cached instance is shared.
+    """
     values: list[float] = []
     counter = 0
     while len(values) < _DIM:
@@ -38,7 +45,7 @@ def token_embedding(token: str) -> list[float]:
                 break
         counter += 1
     norm = math.sqrt(sum(v * v for v in values)) or 1.0
-    return [v / norm for v in values]
+    return tuple(v / norm for v in values)
 
 
 def embed_phrase(text: str) -> list[float]:
@@ -84,8 +91,7 @@ class BertFuzzyClassifier:
             for example in node.examples:
                 self._examples.append((example, node.level3, embed_phrase(example)))
 
-    def classify(self, text: str) -> Classification:
-        query = embed_phrase(text)
+    def _verdict(self, text: str, query: list[float]) -> Classification:
         best_score = -2.0
         best_label: Level3 | None = None
         best_example = ""
@@ -107,5 +113,18 @@ class BertFuzzyClassifier:
             explanation=f"nearest embedding: {best_example!r}",
         )
 
+    def classify(self, text: str) -> Classification:
+        return self._verdict(text, embed_phrase(text))
+
     def classify_batch(self, texts: list[str]) -> list[Classification]:
-        return [self.classify(text) for text in texts]
+        """Embed and match each distinct text once per batch.
+
+        Verdicts are identical to per-item :meth:`classify` calls
+        (both run through :meth:`_verdict`); duplicates in the input
+        multiset reuse the deduplicated result.
+        """
+        verdicts = {
+            text: self._verdict(text, embed_phrase(text))
+            for text in unique_texts(texts)
+        }
+        return [verdicts[text] for text in texts]

@@ -151,10 +151,39 @@ class Gpt4Classifier:
                 return scores
         return self.lexicon.score(text)
 
-    def classify(self, text: str) -> Classification:
+    def _evidence(self, text: str) -> tuple:
+        """Ranked lexicon scores and the correlated-flip outcome.
+
+        Both are pure functions of the key given the lexicon: the
+        ranked scores come straight from it, and the correlated draws
+        come from a per-key RNG every temperature model seeds
+        identically.  A sweep shares one lexicon across its five
+        models, so both computations are memoized on the lexicon's
+        derived cache — computed for the first model, reused by the
+        other four — with byte-identical results.
+        """
+        cached = self.lexicon.derived_cache.get(text)
+        if cached is not None:
+            return cached
         scores = self._score(text)
-        rng = self._rng(text)
         ranked = sorted(scores.items(), key=lambda item: -item[1])
+        correlated: tuple[bool, Level3 | None] = (False, None)
+        if ranked:
+            # Correlated misreads: the same wrong answer at every
+            # temperature (majority voting cannot fix these).
+            shared = self._shared_rng(text)
+            if shared.random() < _CORRELATED_NOISE:
+                if len(ranked) > 1 and shared.random() > _RANDOM_FLIP_SHARE:
+                    correlated = (True, ranked[1][0])
+                else:
+                    correlated = (True, Level3(shared.choice(self._labels)))
+        cached = (ranked, correlated)
+        self.lexicon.derived_cache[text] = cached
+        return cached
+
+    def classify(self, text: str) -> Classification:
+        ranked, (correlated_flip, correlated_label) = self._evidence(text)
+        rng = self._rng(text)
 
         if not ranked:
             # No lexical evidence at all: the model guesses with the
@@ -173,17 +202,11 @@ class Gpt4Classifier:
         margin = (best_score - second_score) / (best_score + 1e-9)
         evidence = min(1.0, best_score / 1.5)
 
-        # Correlated misreads: the same wrong answer at every
-        # temperature (majority voting cannot fix these).
-        shared = self._shared_rng(text)
         label = best_label
         flipped = False
-        if shared.random() < _CORRELATED_NOISE:
+        if correlated_flip:
             flipped = True
-            if len(ranked) > 1 and shared.random() > _RANDOM_FLIP_SHARE:
-                label = ranked[1][0]
-            else:
-                label = Level3(shared.choice(self._labels))
+            label = correlated_label
         # Per-model sampling noise, growing with temperature.
         elif rng.random() < _BASE_NOISE + _NOISE_SLOPE * self.temperature:
             flipped = True

@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-from repro.datatypes.base import Classification, Classifier
+from repro.datatypes.base import Classification, Classifier, batch_classify, unique_texts
 from repro.datatypes.gpt4 import temperature_sweep
 from repro.ontology.nodes import Level3
 
@@ -33,8 +33,7 @@ class MajorityVoteClassifier:
             raise ValueError("majority vote needs at least one model")
         self.name = f"gpt4-majority-{self.confidence_mode}"
 
-    def classify(self, text: str) -> Classification:
-        votes = [model.classify(text) for model in self.models]
+    def _tally(self, text: str, votes: list[Classification]) -> Classification:
         counts: Counter[Level3 | None] = Counter(vote.label for vote in votes)
         winner, _ = counts.most_common(1)[0]
         agreeing = [vote for vote in votes if vote.label == winner]
@@ -51,5 +50,21 @@ class MajorityVoteClassifier:
             explanation=f"majority {len(agreeing)}/{len(votes)} votes",
         )
 
+    def classify(self, text: str) -> Classification:
+        return self._tally(text, [model.classify(text) for model in self.models])
+
     def classify_batch(self, texts: list[str]) -> list[Classification]:
-        return [self.classify(text) for text in texts]
+        """One deduplicated batch per sweep model, then tally.
+
+        Votes are zipped in model order, so ``Counter.most_common``
+        tie-breaking (insertion order of first appearance) matches the
+        per-item path exactly; classification is per-key pure, so
+        deduplicating the multiset cannot change any verdict.
+        """
+        unique = unique_texts(texts)
+        per_model = [batch_classify(model, unique) for model in self.models]
+        verdicts = {
+            text: self._tally(text, [column[i] for column in per_model])
+            for i, text in enumerate(unique)
+        }
+        return [verdicts[text] for text in texts]

@@ -28,6 +28,7 @@ from __future__ import annotations
 import os
 import sqlite3
 import sys
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator
@@ -477,6 +478,10 @@ class PersistentClassifier:
     name: str = field(init=False)
     store_hits: int = 0
     misses: int = 0
+    # Cumulative wall time spent in store round-trips (the profiling
+    # layer reports these as the ``store_get``/``store_put`` stages).
+    store_get_s: float = 0.0
+    store_put_s: float = 0.0
     _store: ClassificationStore | None = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -530,20 +535,26 @@ class PersistentClassifier:
         unique = list(dict.fromkeys(texts))
         found: dict[str, Classification] = {}
         if not self._disabled:
+            start = time.perf_counter()
             try:
                 found = self.store.get_many(self.inner.name, unique)
             except StoreError as exc:
                 self._disable(exc)
+            finally:
+                self.store_get_s += time.perf_counter() - start
         self.store_hits += len(found)
         missing = [text for text in unique if text not in found]
         if missing:
             self.misses += len(missing)
             fresh = batch_classify(self.inner, missing)
             if not self._disabled:
+                start = time.perf_counter()
                 try:
                     self.store.put_many(self.inner.name, fresh)
                 except StoreError as exc:
                     self._disable(exc)
+                finally:
+                    self.store_put_s += time.perf_counter() - start
             found.update((verdict.text, verdict) for verdict in fresh)
         return [found[text] for text in texts]
 

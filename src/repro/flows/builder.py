@@ -16,6 +16,7 @@ data types once, not its 440K packets).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.datatypes.base import Classification, Classifier
 from repro.datatypes.cache import CachingClassifier
@@ -64,25 +65,44 @@ class FlowBuilder:
     # Keys this builder classified — per-builder even when the cache
     # layer is shared (or pre-warmed) across builders.
     _seen: set[str] = field(init=False, repr=False)
+    # Thresholded label per key — the per-request lookup table.  The
+    # classifier stack is descended once per new key; repeat keys
+    # resolve here without even a cache-layer round-trip.
+    _labels: dict[str, Level3 | None] = field(init=False, repr=False)
+    #: Keys resolved straight from the label table — the lookups that
+    #: were cache-layer hits before the table existed.  Cache hit/miss
+    #: accounting stays comparable across versions by adding these to
+    #: the cache layer's own hits.
+    lookup_hits: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
         self._cache = CachingClassifier.wrap(self.classifier)
         self._seen = set()
+        self._labels = {}
+        self.lookup_hits = 0
 
     def label_key(self, key: str) -> Level3 | None:
         """Classify one raw key (memoized, threshold applied)."""
         return self.labels_for_keys([key])[0]
 
-    def labels_for_keys(self, keys: list[str]) -> list[Level3 | None]:
-        """Classify raw keys in one batch (memoized, threshold applied)."""
-        self._seen.update(keys)
-        return [
+    def _thresholded(self, verdict: Classification) -> Level3 | None:
+        return (
             verdict.label
             if verdict.label is not None
             and verdict.confidence >= self.confidence_threshold
             else None
-            for verdict in self._cache.classify_batch(keys)
-        ]
+        )
+
+    def labels_for_keys(self, keys: list[str]) -> list[Level3 | None]:
+        """Classify raw keys in one batch (memoized, threshold applied)."""
+        labels = self._labels
+        missing = [key for key in keys if key not in labels]
+        self.lookup_hits += len(keys) - len(missing)
+        if missing:
+            self._seen.update(missing)
+            for verdict in self._cache.classify_batch(missing):
+                labels[verdict.text] = self._thresholded(verdict)
+        return [labels[key] for key in keys]
 
     def prime(self, keys: list[str]) -> None:
         """Classify ``keys`` ahead of per-request flow building.
@@ -95,7 +115,24 @@ class FlowBuilder:
         unique = list(dict.fromkeys(keys))
         if unique:
             self._seen.update(unique)
-            self._cache.classify_batch(unique)
+            for verdict in self._cache.classify_batch(unique):
+                self._labels[verdict.text] = self._thresholded(verdict)
+
+    def prime_sequence(self, key_lists: Iterable[list[str]]) -> None:
+        """Classify many traces' keys in ONE batched call.
+
+        Equivalent to calling :meth:`prime` once per list — each list
+        is deduplicated first-occurrence-first and the lists then
+        concatenated, so the cache layer's hit/miss arithmetic matches
+        the per-trace sequence key for key — but the whole shard costs
+        one classifier-stack descent: one persistent-store round-trip
+        and one inner batch instead of one per trace.
+        """
+        keys = [key for key_list in key_lists for key in dict.fromkeys(key_list)]
+        if keys:
+            self._seen.update(keys)
+            for verdict in self._cache.classify_batch(keys):
+                self._labels[verdict.text] = self._thresholded(verdict)
 
     def flows_for_request(
         self,
@@ -114,14 +151,41 @@ class FlowBuilder:
         request for key accounting) pass the result in instead of
         extracting twice.
         """
-        column = TraceColumn.for_trace(kind, age)
-        destination = labeler.label(request.url.fqdn)
-        observations: list[FlowObservation] = []
-        seen: set[Level3] = set()
         if extracted is None:
             extracted = extract_from_request(request)
-        labels = self.labels_for_keys([item.key for item in extracted])
-        for item, label in zip(extracted, labels):
+        return self.flows_for_destination(
+            request.url.fqdn,
+            labeler,
+            service=service,
+            platform=platform,
+            kind=kind,
+            age=age,
+            keys=[item.key for item in extracted],
+        )
+
+    def flows_for_destination(
+        self,
+        fqdn: str,
+        labeler: DestinationLabeler,
+        service: str,
+        platform: Platform,
+        kind: TraceKind,
+        age: AgeGroup | None,
+        keys: list[str],
+    ) -> list[FlowObservation]:
+        """Flows for one request's already-extracted keys.
+
+        The request-free core of :meth:`flows_for_request`: the engine
+        extracts keys in a first pass over the shard (so request
+        bodies can be dropped before classification), then builds
+        flows from ``(fqdn, keys)`` pairs here.
+        """
+        column = TraceColumn.for_trace(kind, age)
+        destination = labeler.label(fqdn)
+        observations: list[FlowObservation] = []
+        seen: set[Level3] = set()
+        labels = self.labels_for_keys(keys)
+        for key, label in zip(keys, labels):
             if label is None or label in seen:
                 continue
             seen.add(label)
@@ -134,7 +198,7 @@ class FlowBuilder:
                     fqdn=destination.fqdn,
                     esld=destination.esld or esld_of(destination.fqdn),
                     party=destination.party,
-                    raw_key=item.key,
+                    raw_key=key,
                 )
             )
         return observations

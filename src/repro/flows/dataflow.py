@@ -19,14 +19,17 @@ from repro.ontology import ONTOLOGY
 from repro.ontology.nodes import Level2, Level3
 
 
+_CELL_FOR = {
+    PartyLabel.FIRST_PARTY: FlowCell.COLLECT_1ST,
+    PartyLabel.FIRST_PARTY_ATS: FlowCell.COLLECT_1ST_ATS,
+    PartyLabel.THIRD_PARTY: FlowCell.SHARE_3RD,
+    PartyLabel.THIRD_PARTY_ATS: FlowCell.SHARE_3RD_ATS,
+}
+
+
 def cell_for(party: PartyLabel) -> FlowCell:
     """Map a destination's party label to its Table 4 flow cell."""
-    return {
-        PartyLabel.FIRST_PARTY: FlowCell.COLLECT_1ST,
-        PartyLabel.FIRST_PARTY_ATS: FlowCell.COLLECT_1ST_ATS,
-        PartyLabel.THIRD_PARTY: FlowCell.SHARE_3RD,
-        PartyLabel.THIRD_PARTY_ATS: FlowCell.SHARE_3RD_ATS,
-    }[party]
+    return _CELL_FOR[party]
 
 
 @dataclass(frozen=True)
@@ -99,16 +102,25 @@ class FlowTable:
     def merge(self, other: "FlowTable") -> None:
         """Fold another table (e.g. one shard's result) into this one.
 
-        Observations are replayed through :meth:`add` so every roll-up
-        (grid, per-destination sets, party map) is rebuilt exactly as
-        if the observations had been added here in the first place;
-        registered-only party labels are then merged without
-        overriding labels observations have set.
+        Equivalent to replaying ``other``'s observations through
+        :meth:`add` and then registering its party labels — the
+        roll-ups are merged structurally instead (set unions per grid
+        cell and destination), which skips re-deriving each
+        observation's level-2 category and flow cell.  Party labels
+        keep :meth:`add`'s semantics: labels set by ``other``'s
+        observations override, registered-only labels do not.
         """
+        self._observations.extend(other._observations)
+        for key, platforms in other._grid.items():
+            self._grid[key].update(platforms)
+        for key, types in other._per_destination.items():
+            self._per_destination[key].update(types)
         for observation in other._observations:
-            self.add(observation)
-        for (service, fqdn), party in other._party_by_fqdn.items():
-            self.register_party(service, fqdn, party)
+            self._party_by_fqdn[
+                (observation.service, observation.fqdn)
+            ] = observation.party
+        for key, party in other._party_by_fqdn.items():
+            self._party_by_fqdn.setdefault(key, party)
 
     def __len__(self) -> int:
         return len(self._observations)

@@ -74,36 +74,21 @@ def mac_to_str(raw: bytes) -> str:
     return ":".join(f"{b:02x}" for b in raw)
 
 
-# struct formats for the checksum's one-call summation, keyed by the
-# number of 16-bit words.  ``struct``'s own internal format cache tops
-# out at ~100 entries and silently recompiles beyond that, which used
-# to cost a parse of ``"!{count}H"`` on *every* checksum over a
-# less-common length.
-_CHECKSUM_STRUCTS: dict[int, struct.Struct] = {}
-
-
-def _checksum_struct(count: int) -> struct.Struct:
-    cached = _CHECKSUM_STRUCTS.get(count)
-    if cached is None:
-        cached = _CHECKSUM_STRUCTS[count] = struct.Struct(f"!{count}H")
-    return cached
-
-
 def internet_checksum(data) -> int:
     """RFC 1071 ones'-complement checksum over any bytes-like buffer.
 
-    Summation uses one C-level ``struct.unpack`` call through a cached
-    per-length :class:`struct.Struct`; the carry fold happens once at
-    the end (deferred folding is arithmetically equivalent and keeps
-    full-scale corpus generation fast).
+    The end-around-carry sum of 16-bit words is congruent to the
+    buffer's big-endian integer value mod 0xFFFF (2**16 ≡ 1 there), so
+    the whole summation is one C-level ``int.from_bytes`` — the fold
+    only needs the zero-vs-multiple-of-0xFFFF distinction restored
+    (folding a nonzero sum never yields zero).
     """
-    length = len(data)
-    if length % 2:
+    if len(data) % 2:
         data = bytes(data) + b"\x00"
-        length += 1
-    total = sum(_checksum_struct(length // 2).unpack(data))
-    while total >> 16:
-        total = (total & 0xFFFF) + (total >> 16)
+    value = int.from_bytes(data, "big")
+    total = value % 0xFFFF
+    if total == 0 and value:
+        total = 0xFFFF
     return (~total) & 0xFFFF
 
 

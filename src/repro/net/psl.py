@@ -229,15 +229,33 @@ class PublicSuffixList:
                 line = line[1:]
             labels = tuple(line.lower().split("."))
             self._rules[labels] = _Rule(labels=labels, exception=exception)
+        # A rule can only match a domain whose last label equals the
+        # rule's last label (``*`` matches exactly one label, so a
+        # trailing ``*`` is the one case that matches any TLD).
+        # Bucketing by that label turns suffix_length from a scan of
+        # every rule into a lookup of the handful sharing the TLD —
+        # eSLD extraction is the audit hot path's single biggest cost.
+        by_last: dict[str, list[_Rule]] = {}
+        star_last: list[_Rule] = []
+        for rule in self._rules.values():
+            if rule.labels[-1] == "*":
+                star_last.append(rule)
+            else:
+                by_last.setdefault(rule.labels[-1], []).append(rule)
+        self._by_last = {label: tuple(rules) for label, rules in by_last.items()}
+        self._star_last = tuple(star_last)
 
     def __len__(self) -> int:
         return len(self._rules)
 
     def suffix_length(self, domain_labels: tuple[str, ...]) -> int:
         """Number of labels in the public suffix of ``domain_labels``."""
+        candidates = self._by_last.get(domain_labels[-1], ())
+        if self._star_last:
+            candidates = candidates + self._star_last
         best_exception: _Rule | None = None
         best_normal: _Rule | None = None
-        for rule in self._rules.values():
+        for rule in candidates:
             if not rule.matches(domain_labels):
                 continue
             if rule.exception:
@@ -277,8 +295,16 @@ def default_psl() -> PublicSuffixList:
     return PublicSuffixList()
 
 
+@lru_cache(maxsize=65536)
 def extract(host: str) -> ExtractResult:
-    """Module-level convenience mirroring ``tldextract.extract``."""
+    """Module-level convenience mirroring ``tldextract.extract``.
+
+    Memoized: the corpus re-extracts the same few hundred hostnames
+    millions of times (every packet destination, every catalog build,
+    every dataset roll-up), and extraction is a pure function of the
+    host against the fixed embedded snapshot.  The result dataclass is
+    frozen, so sharing one instance across callers is safe.
+    """
     return default_psl().extract(host)
 
 

@@ -36,6 +36,16 @@ class TlsError(ValueError):
     """Raised on malformed records or missing key material."""
 
 
+# Per-record keystream memo.  The derivation is deterministic in
+# (secret, client_random), and the audit pipeline derives each record's
+# keystream twice in one process — once encrypting at capture time,
+# once decrypting the archived artifact — so the second derivation is a
+# lookup.  Bounded: cleared wholesale when full (records are
+# encrypt-then-decrypted trace by trace, so locality is tight).
+_KEYSTREAM_CACHE: dict[tuple[bytes, bytes], bytes] = {}
+_KEYSTREAM_CACHE_MAX = 2048
+
+
 def _keystream(secret: bytes, client_random: bytes, length: int) -> bytes:
     """Deterministic keystream: SHA-256(secret || random || counter).
 
@@ -43,9 +53,13 @@ def _keystream(secret: bytes, client_random: bytes, length: int) -> bytes:
     per-block length rescans), but the derivation itself is frozen —
     it defines the bytes of every archived capture.
     """
-    out = bytearray()
+    key = (secret, client_random)
+    cached = _KEYSTREAM_CACHE.get(key)
+    if cached is not None and len(cached) >= length:
+        return cached[:length]
+    out = bytearray(cached if cached is not None else b"")
     base = hashlib.sha256(secret + client_random)
-    counter = 0
+    counter = len(out) // 32
     while len(out) < length:
         # digest(prefix || counter) via one cloned running hash: the
         # shared 64-byte prefix is compressed once per call, not once
@@ -54,7 +68,11 @@ def _keystream(secret: bytes, client_random: bytes, length: int) -> bytes:
         block.update(_U64.pack(counter))
         out += block.digest()
         counter += 1
-    return bytes(out[:length])
+    if len(_KEYSTREAM_CACHE) >= _KEYSTREAM_CACHE_MAX:
+        _KEYSTREAM_CACHE.clear()
+    full = bytes(out)
+    _KEYSTREAM_CACHE[key] = full
+    return full[:length]
 
 
 def _xor(data, keystream: bytes) -> bytes:

@@ -23,6 +23,8 @@ class UrlError(ValueError):
 
 def _percent_decode(text: str) -> str:
     """Decode %XX escapes as UTF-8 byte sequences (and '+' as space)."""
+    if "%" not in text and "+" not in text:
+        return text  # nothing encoded — the overwhelmingly common case
     out = bytearray()
     i = 0
     while i < len(text):
@@ -44,11 +46,18 @@ def _percent_decode(text: str) -> str:
     return out.decode("utf-8", errors="replace")
 
 
+_UNRESERVED = frozenset(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-._~"
+)
+
+
 def percent_encode(text: str, safe: str = "") -> str:
     """Percent-encode a query component (RFC 3986 unreserved kept)."""
-    unreserved = (
-        "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-._~" + safe
-    )
+    unreserved = _UNRESERVED if not safe else _UNRESERVED.union(safe)
+    # Most generated values are entirely unreserved; one set-driven
+    # scan avoids building the output character by character.
+    if all(ch in unreserved for ch in text):
+        return text
     out: list[str] = []
     for ch in text:
         if ch in unreserved:

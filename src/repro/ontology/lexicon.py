@@ -17,6 +17,7 @@ from __future__ import annotations
 import re
 from collections import defaultdict
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.ontology.nodes import Level3, Ontology
 
@@ -189,18 +190,26 @@ STOP_TOKENS: frozenset[str] = frozenset(
 )
 
 
-def split_key(raw: str) -> list[str]:
-    """Split a raw traffic key into lowercase word tokens.
-
-    Handles snake_case, kebab-case, dotted paths, and camelCase, e.g.
-    ``"IsOptOutEmailShown"`` → ``["is", "opt", "out", "email", "shown"]``.
-    """
+@lru_cache(maxsize=65536)
+def _split_key_cached(raw: str) -> tuple[str, ...]:
     parts: list[str] = []
     for chunk in _SPLIT_RE.split(raw):
         if not chunk:
             continue
         parts.extend(p for p in _CAMEL_RE.split(chunk) if p)
-    return [p.lower() for p in parts]
+    return tuple(p.lower() for p in parts)
+
+
+def split_key(raw: str) -> list[str]:
+    """Split a raw traffic key into lowercase word tokens.
+
+    Handles snake_case, kebab-case, dotted paths, and camelCase, e.g.
+    ``"IsOptOutEmailShown"`` → ``["is", "opt", "out", "email", "shown"]``.
+    Splitting is pure, and the same keys recur across every trace and
+    every temperature model, so results are memoized (callers get a
+    fresh list they may mutate).
+    """
+    return list(_split_key_cached(raw))
 
 
 def expand_tokens(tokens: list[str]) -> list[str]:
@@ -232,9 +241,23 @@ class Lexicon:
 
     token_weights: dict[str, dict[Level3, float]] = field(default_factory=dict)
     phrases: dict[tuple[str, ...], Level3] = field(default_factory=dict)
+    # Scoring is a pure function of the key once the table is built,
+    # and the GPT-4 temperature sweep scores every key once per model
+    # — memoizing here collapses that to once per key.  Callers treat
+    # the returned dict as read-only (classify only sorts its items).
+    _score_cache: dict[str, dict[Level3, float]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    # Scratch space for caches *derived from* scores (the GPT-4 sweep
+    # keeps its per-key ranked evidence here so the five temperature
+    # models share one computation).  Invalidated together with the
+    # score cache whenever the evidence table changes.
+    derived_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     def add_example(self, label: Level3, example: str, weight: float = 1.0) -> None:
         tokens = tokenize_key(example)
+        self._score_cache.clear()
+        self.derived_cache.clear()
         if not tokens:
             return
         if len(tokens) > 1:
@@ -246,6 +269,14 @@ class Lexicon:
 
     def score(self, raw_key: str) -> dict[Level3, float]:
         """Score a raw key against every label; higher is stronger."""
+        cached = self._score_cache.get(raw_key)
+        if cached is not None:
+            return cached
+        scored = self._score_uncached(raw_key)
+        self._score_cache[raw_key] = scored
+        return scored
+
+    def _score_uncached(self, raw_key: str) -> dict[Level3, float]:
         tokens = tokenize_key(raw_key)
         scores: dict[Level3, float] = defaultdict(float)
         if not tokens:

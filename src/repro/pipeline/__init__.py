@@ -4,7 +4,10 @@
   HAR/PCAP artifacts, and parse them back (steps 1–2);
 * :mod:`repro.pipeline.dataset` — the Table 1 dataset summary;
 * :mod:`repro.pipeline.engine` — the parallel sharded engine running
-  steps 1–3 per service (sequential or process-pool executors);
+  steps 1–3 per service (sequential, thread-pool or process-pool
+  executors);
+* :mod:`repro.pipeline.profile` — stage-level wall-time attribution
+  for the audit hot path (``--profile-out`` / ``repro bench``);
 * :mod:`repro.pipeline.replay` — artifact replay: scan a captured
   HAR/PCAP corpus on disk and feed it through the same engine;
 * :mod:`repro.pipeline.diffaudit` — the full audit run: flows,
@@ -21,15 +24,26 @@ from repro.pipeline.corpus import (
 from repro.pipeline.dataset import DatasetSummary, ServiceDatasetStats
 from repro.pipeline.diffaudit import DiffAudit, DiffAuditResult
 from repro.pipeline.engine import (
+    EXECUTOR_KINDS,
     AuditEngine,
     EngineOutput,
+    PackedShardResult,
     ProcessPoolShardExecutor,
     SequentialExecutor,
     ShardResult,
     ShardTask,
+    ThreadPoolShardExecutor,
     executor_for,
     generate_corpus_artifacts,
+    pack_shard_result,
     process_shard,
+)
+from repro.pipeline.profile import (
+    PROFILE_VERSION,
+    StageTimer,
+    profile_document,
+    validate_profile,
+    write_profile,
 )
 from repro.pipeline.replay import (
     ReplayCorpus,
@@ -54,13 +68,22 @@ __all__ = [
     "DiffAuditResult",
     "AuditEngine",
     "EngineOutput",
+    "EXECUTOR_KINDS",
+    "PackedShardResult",
     "ProcessPoolShardExecutor",
     "SequentialExecutor",
     "ShardResult",
     "ShardTask",
+    "ThreadPoolShardExecutor",
     "executor_for",
     "generate_corpus_artifacts",
+    "pack_shard_result",
     "process_shard",
+    "PROFILE_VERSION",
+    "StageTimer",
+    "profile_document",
+    "validate_profile",
+    "write_profile",
     "ReplayCorpus",
     "ReplayError",
     "ReplayProvenance",

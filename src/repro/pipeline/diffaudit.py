@@ -21,13 +21,14 @@ are derived from.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.audit.report import ServiceAuditReport, audit_service
 from repro.datatypes.base import Classifier
-from repro.destinations.blocklists import BlockListCollection, default_blocklists
-from repro.destinations.entities import EntityDatabase, default_entity_db
+from repro.destinations.blocklists import BlockListCollection
+from repro.destinations.entities import EntityDatabase
 from repro.flows.dataflow import FlowTable
 from repro.linkability.alluvial import AlluvialEdge, alluvial_edges
 from repro.linkability.analysis import (
@@ -40,7 +41,8 @@ from repro.linkability.analysis import (
 from repro.model import TraceColumn
 from repro.ontology.nodes import Level3
 from repro.pipeline.dataset import DatasetSummary
-from repro.pipeline.engine import AuditEngine, default_classifier, labeler_for
+from repro.pipeline.engine import AuditEngine, labeler_for
+from repro.pipeline.profile import profile_document
 from repro.pipeline.replay import ReplayCorpus
 from repro.services.generator import CorpusConfig
 
@@ -85,6 +87,10 @@ class DiffAudit:
     # resolution) don't pay, or race, a second scan.
     replay: ReplayCorpus | Path | str | None = None
     jobs: int = 1  # shard workers; 1 = sequential in-process
+    # Executor kind for the shard stage: "auto" (sequential at jobs=1,
+    # thread pool for replayed corpora, process pool otherwise) or an
+    # explicit "sequential" / "thread" / "process" (``--executor``).
+    executor: str = "auto"
     # Persistent classification store directory (``--cache-dir``):
     # verdicts persist across runs and across worker processes, so a
     # warm re-audit performs zero inner-classifier calls.  Results are
@@ -92,19 +98,14 @@ class DiffAudit:
     # key — only how often the expensive path runs.
     cache_dir: Path | str | None = None
 
-    def __post_init__(self) -> None:
-        if self.classifier is None:
-            self.classifier = default_classifier()
-        if self.entity_db is None:
-            self.entity_db = default_entity_db()
-        if self.blocklists is None:
-            self.blocklists = default_blocklists()
-
     def engine(self) -> AuditEngine:
         """The shard/process/merge engine this run is configured for.
 
         Built fresh from the current field values, so assigning e.g.
         ``audit.classifier`` after construction still takes effect.
+        ``None`` components stay ``None`` here — the engine resolves
+        defaults itself, and remembering *that* they were defaults is
+        what lets it keep them out of worker-task pickles.
         """
         return AuditEngine(
             config=self.config,
@@ -115,14 +116,38 @@ class DiffAudit:
             artifacts_dir=self.artifacts_dir,
             replay=self.replay,
             jobs=self.jobs,
+            executor=self.executor,
             cache_dir=self.cache_dir,
         )
 
     def run(self) -> DiffAuditResult:
-        merged = self.engine().run()
-        return assemble_result(
-            self.config, merged, self.entity_db, self.blocklists
+        result, _ = self.run_profiled()
+        return result
+
+    def run_profiled(self) -> tuple[DiffAuditResult, dict]:
+        """Run the audit and return ``(result, profile_document)``.
+
+        The profile attributes the run's wall time per stage (see
+        :mod:`repro.pipeline.profile`); ``repro audit --profile-out``
+        writes it to disk, ``repro bench`` records one per benchmark
+        entry.  Profiling is always on — its cost is a handful of
+        clock reads per trace.
+        """
+        start = time.perf_counter()
+        engine = self.engine()
+        merged = engine.run()
+        downstream_start = time.perf_counter()
+        result = assemble_result(
+            self.config, merged, engine.entity_db, engine.blocklists
         )
+        end = time.perf_counter()
+        profile = profile_document(
+            workload="audit",
+            wall_time_s=end - start,
+            engine=merged.profile,
+            downstream_s=end - downstream_start,
+        )
+        return result, profile
 
 
 def assemble_result(

@@ -46,10 +46,12 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import pickle
 import signal
 import sys
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from dataclasses import dataclass, field
+from functools import lru_cache
 from pathlib import Path
 from typing import Callable, Iterable, Protocol
 
@@ -61,9 +63,10 @@ from repro.destinations.blocklists import BlockListCollection
 from repro.destinations.entities import EntityDatabase
 from repro.destinations.party import DestinationLabeler
 from repro.flows.builder import FlowBuilder
-from repro.flows.dataflow import FlowTable
+from repro.flows.dataflow import FlowObservation, FlowTable
 from repro.pipeline.corpus import CorpusProcessor, ParsedTrace
 from repro.pipeline.dataset import DatasetSummary
+from repro.pipeline.profile import StageTimer
 from repro.pipeline.replay import (
     ReplayCorpus,
     ReplayError,
@@ -95,14 +98,22 @@ class ShardTask:
     the scheduler splits oversized services so worker wall time
     balances.  ``estimated_cost`` is the scheduler's relative cost
     guess, used only for splitting and largest-first submission.
+
+    ``classifier``, ``entity_db`` and ``blocklists`` may be ``None``,
+    meaning "the defaults": the worker rebuilds them locally (memoized
+    per process) instead of the parent pickling the full default stack
+    — catalog, entity database, blocklists — into every task.  A
+    ``None`` classifier is rebuilt over ``cache_dir``'s persistent
+    store when set.  Only non-default components are ever serialized.
     """
 
     service: str
     config: CorpusConfig  # already restricted to this one service
-    classifier: Classifier
-    confidence_threshold: float
-    entity_db: EntityDatabase
-    blocklists: BlockListCollection
+    classifier: Classifier | None = None
+    confidence_threshold: float = 0.8
+    entity_db: EntityDatabase | None = None
+    blocklists: BlockListCollection | None = None
+    cache_dir: Path | str | None = None
     artifacts_dir: Path | None = None
     replay_units: tuple[TraceUnit, ...] | None = None
     unit_range: tuple[int, int] | None = None  # [start, stop) trace units
@@ -129,6 +140,8 @@ class ShardResult:
     # how many reached the inner classifier.
     store_hits: int = 0
     store_misses: int = 0
+    # Wall time per stage (see repro.pipeline.profile.SHARD_STAGES).
+    stage_times: dict[str, float] = field(default_factory=dict)
 
 
 def default_classifier() -> Classifier:
@@ -189,6 +202,47 @@ def record_run_stats(
         )
 
 
+@lru_cache(maxsize=4)
+def _worker_classifier(cache_dir: str | None) -> Classifier:
+    """The default classifier stack, rebuilt worker-side.
+
+    Memoized per process so every sub-shard a worker picks up shares
+    one stack (and, with a ``cache_dir``, one store connection).  On
+    Linux the pool forks, so workers usually inherit the parent's
+    warmed module caches for free; this covers spawn too.
+    """
+    return prepare_classifier(None, cache_dir)
+
+
+def resolve_task_stack(
+    task: ShardTask,
+) -> tuple[Classifier, EntityDatabase, BlockListCollection]:
+    """A task's (classifier, entity_db, blocklists), defaults rebuilt.
+
+    The inverse of task slimming: components the parent left ``None``
+    (because they were the defaults) are reconstructed from the
+    memoized default builders instead of having been pickled through
+    the pool.
+    """
+    classifier = task.classifier
+    if classifier is None:
+        cache_dir = (
+            str(task.cache_dir) if task.cache_dir is not None else None
+        )
+        classifier = _worker_classifier(cache_dir)
+    entity_db = task.entity_db
+    if entity_db is None:
+        from repro.destinations.entities import default_entity_db
+
+        entity_db = default_entity_db()
+    blocklists = task.blocklists
+    if blocklists is None:
+        from repro.destinations.blocklists import default_blocklists
+
+        blocklists = default_blocklists()
+    return classifier, entity_db, blocklists
+
+
 def labeler_for(
     spec: ServiceSpec,
     entity_db: EntityDatabase,
@@ -217,70 +271,124 @@ def shard_trace_source(task: ShardTask) -> "Iterable[ParsedTrace]":
 
 
 def process_shard(task: ShardTask) -> ShardResult:
-    """Run capture → parse → classify → flow-build for one service."""
-    (spec,) = [s for s in task.config.service_specs() if s.key == task.service]
-    labeler = labeler_for(spec, task.entity_db, task.blocklists)
-    # A task may arrive with an already-cached classifier (the
-    # sequential executor shares one cache across shards, so keys
-    # common to several services are classified once per corpus);
-    # count only this shard's hits/misses either way.
-    cache = CachingClassifier.wrap(task.classifier)
-    hits_before, misses_before = cache.hits, cache.misses
-    # With --cache-dir the classifier stack is memory → disk store →
-    # inner; snapshot the persistent layer's counters so the shard can
-    # report how much of its work the store absorbed.
-    persistent = cache.inner if isinstance(cache.inner, PersistentClassifier) else None
-    store_hits_before = persistent.store_hits if persistent else 0
-    store_misses_before = persistent.misses if persistent else 0
-    builder = FlowBuilder(
-        classifier=cache, confidence_threshold=task.confidence_threshold
-    )
+    """Run capture → parse → classify → flow-build for one service.
+
+    Two passes over the shard: the first pass drains the trace source
+    (generation or artifact decode), folds dataset stats and extracts
+    each request's raw keys — keeping only ``(fqdn, keys)`` per
+    request, so request bodies are dropped as soon as they are mined.
+    Classification then happens ONCE for the whole shard
+    (:meth:`repro.flows.builder.FlowBuilder.prime_sequence`): one
+    descent through the classifier stack — one persistent-store
+    round-trip, one inner batch — instead of one per trace.  The
+    second pass builds flows from the retained pairs; every lookup is
+    an in-memory hit.  Wall time is attributed per stage in
+    ``ShardResult.stage_times``.
+    """
+    timer = StageTimer()
+    with timer.stage("setup"):
+        classifier, entity_db, blocklists = resolve_task_stack(task)
+        (spec,) = [
+            s for s in task.config.service_specs() if s.key == task.service
+        ]
+        labeler = labeler_for(spec, entity_db, blocklists)
+        # A task may arrive with an already-cached classifier (the
+        # sequential executor shares one cache across shards, so keys
+        # common to several services are classified once per corpus);
+        # count only this shard's hits/misses either way.
+        cache = CachingClassifier.wrap(classifier)
+        hits_before, misses_before = cache.hits, cache.misses
+        # With --cache-dir the classifier stack is memory → disk store
+        # → inner; snapshot the persistent layer's counters so the
+        # shard can report how much of its work the store absorbed.
+        persistent = (
+            cache.inner
+            if isinstance(cache.inner, PersistentClassifier)
+            else None
+        )
+        store_hits_before = persistent.store_hits if persistent else 0
+        store_misses_before = persistent.misses if persistent else 0
+        store_get_before = persistent.store_get_s if persistent else 0.0
+        store_put_before = persistent.store_put_s if persistent else 0.0
+        builder = FlowBuilder(
+            classifier=cache, confidence_threshold=task.confidence_threshold
+        )
 
     flows = FlowTable()
     dataset = DatasetSummary()
     contacted: set[str] = set()
     raw_keys: set[str] = set()
     trace_count = 0
+    # Per trace: (platform, kind, age, [(fqdn, keys), ...]) — all the
+    # flow-building pass needs once keys are extracted.
+    trace_plans: list[tuple[object, object, object, list[tuple[str, list[str]]]]] = []
+    key_lists: list[list[str]] = []
 
-    for parsed in shard_trace_source(task):
+    source_stage = "decode" if task.replay_units is not None else "generate"
+    source = iter(shard_trace_source(task))
+    while True:
+        with timer.stage(source_stage):
+            parsed = next(source, None)
+        if parsed is None:
+            break
         trace_count += 1
-        dataset.add_trace(parsed)
-        contacted.update(parsed.contacted_hosts())
-        # Extract once per request, then drain the whole trace's cache
-        # misses in one batched call — through a persistent layer that
-        # is one disk round-trip per trace instead of one per key.
-        extracted_per_request = [
-            extract_from_request(request) for request in parsed.requests
-        ]
-        builder.prime(
-            [item.key for items in extracted_per_request for item in items]
+        with timer.stage("dataset"):
+            dataset.add_trace(parsed)
+            contacted.update(parsed.contacted_hosts())
+        with timer.stage("extract"):
+            requests: list[tuple[str, list[str]]] = []
+            trace_keys: list[str] = []
+            for request in parsed.requests:
+                keys = [
+                    item.key for item in extract_from_request(request)
+                ]
+                requests.append((request.url.fqdn, keys))
+                trace_keys.extend(keys)
+                raw_keys.update(keys)
+        with timer.stage("label"):
+            # Opaque flows still label their destinations (party/ATS
+            # classification does not need plaintext).
+            for host in parsed.opaque_hosts:
+                if host:
+                    labeler.label(host)
+        trace_plans.append(
+            (parsed.meta.platform, parsed.meta.kind, parsed.meta.age, requests)
         )
-        for request, extracted in zip(parsed.requests, extracted_per_request):
-            observations = builder.flows_for_request(
-                request,
-                labeler,
-                service=task.service,
-                platform=parsed.meta.platform,
-                kind=parsed.meta.kind,
-                age=parsed.meta.age,
-                extracted=extracted,
-            )
-            flows.extend(observations)
-            raw_keys.update(item.key for item in extracted)
-        # Opaque flows still label their destinations (party/ATS
-        # classification does not need plaintext).
-        for host in parsed.opaque_hosts:
-            if host:
-                labeler.label(host)
+        key_lists.append(trace_keys)
+
+    # One classification descent for the whole shard.  Equivalent to
+    # per-trace priming, key for key (see prime_sequence), so cache
+    # hit/miss arithmetic is unchanged.
+    with timer.stage("classify"):
+        builder.prime_sequence(key_lists)
+
+    with timer.stage("flow_build"):
+        for platform, kind, age, requests in trace_plans:
+            for fqdn, keys in requests:
+                observations = builder.flows_for_destination(
+                    fqdn,
+                    labeler,
+                    service=task.service,
+                    platform=platform,
+                    kind=kind,
+                    age=age,
+                    keys=keys,
+                )
+                flows.extend(observations)
 
     # Register parties (and owners, for the census/alluvial lookups
     # downstream) for every contacted host so destination-only
     # (opaque) contacts count too.
-    owners: dict[str, str | None] = {}
-    for host in contacted:
-        label = labeler.label(host)
-        flows.register_party(task.service, host, label.party)
-        owners[host] = label.owner
+    with timer.stage("label"):
+        owners: dict[str, str | None] = {}
+        for host in contacted:
+            label = labeler.label(host)
+            flows.register_party(task.service, host, label.party)
+            owners[host] = label.owner
+
+    if persistent is not None:
+        timer.add("store_get", persistent.store_get_s - store_get_before)
+        timer.add("store_put", persistent.store_put_s - store_put_before)
 
     return ShardResult(
         service=task.service,
@@ -291,11 +399,142 @@ def process_shard(task: ShardTask) -> ShardResult:
         classified=builder.classified_key_set(),
         owners=owners,
         trace_count=trace_count,
-        cache_hits=cache.hits - hits_before,
+        cache_hits=cache.hits - hits_before + builder.lookup_hits,
         cache_misses=cache.misses - misses_before,
         store_hits=(persistent.store_hits - store_hits_before) if persistent else 0,
         store_misses=(persistent.misses - store_misses_before) if persistent else 0,
+        stage_times=timer.times,
     )
+
+
+# ----------------------------------------------------------------------
+# Compact shard-result transport (process pool IPC)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class PackedShardResult:
+    """A :class:`ShardResult` flattened for cheap pickling.
+
+    A raw ``ShardResult`` pickles its :class:`FlowTable` roll-ups
+    (grid, per-destination sets, party map) alongside the observation
+    list they are derived from, and every observation as an object
+    with eight attribute slots.  The packed form interns every field
+    value — strings and enums alike — into one pool and encodes each
+    observation as eight pool indexes; roll-ups are dropped entirely
+    and rebuilt on unpack by replaying the observations through
+    :meth:`FlowTable.add`, exactly as :meth:`FlowTable.merge` would.
+    Unpacking is faithful by construction: party registrations replay
+    after the adds through ``register_party`` (setdefault semantics),
+    the same order merge uses.
+    """
+
+    service: str
+    pool: tuple
+    observations: tuple  # 8-index tuples into ``pool``
+    parties: tuple  # (service_i, fqdn_i, party_i) registrations
+    contacted: tuple  # pool indexes, original iteration order
+    raw_keys: tuple
+    classified: tuple
+    owners: tuple  # (fqdn_i, owner_i) pairs; owner interned too (may be None)
+    dataset: DatasetSummary
+    trace_count: int
+    cache_hits: int
+    cache_misses: int
+    store_hits: int
+    store_misses: int
+    stage_times: dict[str, float]
+
+    def unpack(self) -> ShardResult:
+        pool = self.pool
+        flows = FlowTable()
+        for s, col, plat, lvl, fqdn, esld, party, raw in self.observations:
+            flows.add(
+                FlowObservation(
+                    service=pool[s],
+                    column=pool[col],
+                    platform=pool[plat],
+                    level3=pool[lvl],
+                    fqdn=pool[fqdn],
+                    esld=pool[esld],
+                    party=pool[party],
+                    raw_key=pool[raw],
+                )
+            )
+        for s, fqdn, party in self.parties:
+            flows.register_party(pool[s], pool[fqdn], pool[party])
+        return ShardResult(
+            service=self.service,
+            flows=flows,
+            dataset=self.dataset,
+            contacted={pool[i] for i in self.contacted},
+            raw_keys={pool[i] for i in self.raw_keys},
+            classified={pool[i] for i in self.classified},
+            owners={pool[f]: pool[o] for f, o in self.owners},
+            trace_count=self.trace_count,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            store_hits=self.store_hits,
+            store_misses=self.store_misses,
+            stage_times=self.stage_times,
+        )
+
+
+def pack_shard_result(result: ShardResult) -> PackedShardResult:
+    """Flatten one shard result into its compact transport form."""
+    indexes: dict = {}
+
+    def intern(value) -> int:
+        index = indexes.get(value)
+        if index is None:
+            index = len(indexes)
+            indexes[value] = index
+        return index
+
+    observations = tuple(
+        (
+            intern(o.service),
+            intern(o.column),
+            intern(o.platform),
+            intern(o.level3),
+            intern(o.fqdn),
+            intern(o.esld),
+            intern(o.party),
+            intern(o.raw_key),
+        )
+        for o in result.flows.observations()
+    )
+    parties = tuple(
+        (intern(service), intern(fqdn), intern(party))
+        for (service, fqdn), party in result.flows._party_by_fqdn.items()
+    )
+    packed = PackedShardResult(
+        service=result.service,
+        pool=(),  # filled below, once the intern table is complete
+        observations=observations,
+        parties=parties,
+        contacted=tuple(intern(host) for host in result.contacted),
+        raw_keys=tuple(intern(key) for key in result.raw_keys),
+        classified=tuple(intern(key) for key in result.classified),
+        owners=tuple(
+            (intern(fqdn), intern(owner))
+            for fqdn, owner in result.owners.items()
+        ),
+        dataset=result.dataset,
+        trace_count=result.trace_count,
+        cache_hits=result.cache_hits,
+        cache_misses=result.cache_misses,
+        store_hits=result.store_hits,
+        store_misses=result.store_misses,
+        stage_times=result.stage_times,
+    )
+    packed.pool = tuple(indexes)
+    return packed
+
+
+def _process_shard_packed(task: ShardTask) -> PackedShardResult:
+    """Pool-worker entry point: process a shard, ship it packed."""
+    return pack_shard_result(process_shard(task))
 
 
 # ----------------------------------------------------------------------
@@ -461,7 +700,10 @@ def _generate_shard(shard: GenerateShard) -> list[dict]:
 
 
 def generate_corpus_artifacts(
-    config: CorpusConfig, artifacts_dir: Path | None, jobs: int = 1
+    config: CorpusConfig,
+    artifacts_dir: Path | None,
+    jobs: int = 1,
+    executor: str = "auto",
 ) -> int:
     """Write every trace artifact plus a manifest; returns the trace count.
 
@@ -475,7 +717,7 @@ def generate_corpus_artifacts(
     """
     from repro.services.generator import estimate_unit_costs
 
-    executor = executor_for(jobs)
+    pool = executor_for(jobs, executor)
     existing = read_manifest(artifacts_dir) if artifacts_dir is not None else None
     if existing is not None:
         # Fail fast on mismatched corpus knobs before writing anything.
@@ -504,7 +746,7 @@ def generate_corpus_artifacts(
         )
     records = [
         record
-        for shard_records in executor.map_shards(shards, work=_generate_shard)
+        for shard_records in pool.map_shards(shards, work=_generate_shard)
         for record in shard_records
     ]
     generated = len(records)
@@ -537,6 +779,7 @@ class ShardExecutor(Protocol):
 class SequentialExecutor:
     """In-process execution — the deterministic, zero-overhead fallback."""
 
+    kind = "sequential"
     jobs: int = 1
 
     def map_shards(self, tasks: list, work: Callable = process_shard) -> list:
@@ -571,6 +814,7 @@ class ProcessPoolShardExecutor:
     processes grinding on work nobody will collect.
     """
 
+    kind = "process"
     jobs: int = 2
 
     def map_shards(self, tasks: list, work: Callable = process_shard) -> list:
@@ -601,12 +845,79 @@ class ProcessPoolShardExecutor:
         return results
 
 
-def executor_for(jobs: int) -> ShardExecutor:
-    """Pick the executor for a ``--jobs N`` setting."""
+@dataclass
+class ThreadPoolShardExecutor:
+    """Shard execution across threads in one process.
+
+    Same LPT submission and canonical-order collection as the process
+    pool, but with zero serialization: tasks and results cross the
+    executor boundary by reference.  That wins whenever the shard's
+    wall time is dominated by work that releases the GIL — artifact
+    file reads and SQLite store round-trips (a warm replayed audit is
+    mostly both) — or when pickling the results would cost more than
+    the contention does.  CPU-bound cold classification still wants
+    the process pool.
+
+    Thread safety is by construction, not by locking: the engine gives
+    every task its own persistent-classifier copy (SQLite connections
+    are per-instance and per-thread), each shard wraps its own
+    in-memory cache, and the shared inner classifier is read-only
+    after warm-up.
+    """
+
+    kind = "thread"
+    jobs: int = 2
+
+    def map_shards(self, tasks: list, work: Callable = process_shard) -> list:
+        if len(tasks) <= 1:
+            return SequentialExecutor().map_shards(tasks, work)
+        workers = min(self.jobs, len(tasks))
+        submission = sorted(
+            range(len(tasks)),
+            key=lambda i: (-getattr(tasks[i], "estimated_cost", 0.0), i),
+        )
+        results: list = [None] * len(tasks)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(work, tasks[i]): i for i in submission}
+            try:
+                for future in as_completed(futures):
+                    results[futures[future]] = future.result()
+            except BaseException:
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+        return results
+
+
+EXECUTOR_KINDS = ("auto", "sequential", "thread", "process")
+
+
+def executor_for(
+    jobs: int, kind: str = "auto", *, replay: bool = False
+) -> ShardExecutor:
+    """Pick the executor for ``--jobs N`` / ``--executor KIND``.
+
+    ``auto`` keeps the historical behaviour at ``jobs == 1``
+    (sequential, shared in-process cache) and picks between the pools
+    at ``jobs > 1``: threads for replayed corpora — decode is file
+    I/O and a warm store is SQLite, both GIL-releasing, and results
+    need no pickling — processes for generated corpora, whose cold
+    path is CPU-bound Python.  An explicit kind is always honoured,
+    including pools at ``jobs == 1``.
+    """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
-    if jobs == 1:
+    if kind not in EXECUTOR_KINDS:
+        raise ValueError(
+            f"unknown executor {kind!r} (choose from {', '.join(EXECUTOR_KINDS)})"
+        )
+    if kind == "auto":
+        if jobs == 1:
+            return SequentialExecutor()
+        kind = "thread" if replay else "process"
+    if kind == "sequential":
         return SequentialExecutor()
+    if kind == "thread":
+        return ThreadPoolShardExecutor(jobs=jobs)
     return ProcessPoolShardExecutor(jobs=jobs)
 
 
@@ -630,6 +941,10 @@ class EngineOutput:
     cache_misses: int = 0
     store_hits: int = 0
     store_misses: int = 0  # lookups that reached the inner classifier
+    # Wall-time attribution for this run (the ``engine`` section of a
+    # profile document — see repro.pipeline.profile): orchestration
+    # stages, IPC payload sizes, and the aggregated per-shard stages.
+    profile: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -648,6 +963,10 @@ class AuditEngine:
     # directory itself, e.g. for config resolution).
     replay: "ReplayCorpus | Path | str | None" = None
     jobs: int = 1
+    # Which executor runs the shards: "auto" (sequential at jobs=1,
+    # thread pool for replayed corpora, process pool otherwise) or an
+    # explicit "sequential" / "thread" / "process".
+    executor: str = "auto"
     # Directory holding the persistent classification store
     # (``--cache-dir``): classifications persist across runs and are
     # shared by all shard workers, so a warm re-audit never calls the
@@ -655,6 +974,12 @@ class AuditEngine:
     cache_dir: Path | str | None = None
 
     def __post_init__(self) -> None:
+        # Remember which components are the defaults BEFORE resolving
+        # them: default components are never pickled into pool tasks —
+        # workers rebuild them locally (see resolve_task_stack).
+        self._default_classifier = self.classifier is None
+        self._default_entity_db = self.entity_db is None
+        self._default_blocklists = self.blocklists is None
         self.classifier = prepare_classifier(self.classifier, self.cache_dir)
         if self.entity_db is None:
             from repro.destinations.entities import default_entity_db
@@ -756,21 +1081,99 @@ class AuditEngine:
             store_misses=store_misses,
         )
 
+    def _slim_tasks(self, tasks: list[ShardTask]) -> None:
+        """Strip default components from pool-bound tasks.
+
+        The catalog-backed default classifier stack, entity database
+        and blocklists dominate a task's pickle; workers rebuild them
+        locally instead (memoized per process).  Components the caller
+        customized are kept on the task and travel by pickle as
+        before.
+        """
+        for task in tasks:
+            if self._default_classifier:
+                task.classifier = None
+                task.cache_dir = self.cache_dir
+            if self._default_entity_db:
+                task.entity_db = None
+            if self._default_blocklists:
+                task.blocklists = None
+
+    def _thread_task_classifiers(self, tasks: list[ShardTask]) -> None:
+        """Give every thread-pool task an isolated classifier stack.
+
+        SQLite connections must not cross threads, and the persistent
+        layer's counters are unsynchronized — so each task gets its
+        own :class:`PersistentClassifier` over the same store file
+        (connections open lazily in the worker thread).  The inner
+        classifier is shared: it is read-only after warm-up, and
+        classification is per-key pure.
+        """
+        for task in tasks:
+            classifier = task.classifier
+            if isinstance(classifier, PersistentClassifier):
+                task.classifier = PersistentClassifier(
+                    classifier.inner, classifier.path
+                )
+
     def run(self) -> EngineOutput:
-        executor = executor_for(self.jobs)
-        tasks = self.shard_tasks()
-        if isinstance(executor, SequentialExecutor):
-            # In-process shards can share one classification cache, so
-            # keys common to several services classify once per corpus
-            # (results are unchanged: classification is per-key pure).
-            shared = CachingClassifier.wrap(self.classifier)
-            for task in tasks:
-                task.classifier = shared
+        timer = StageTimer()
+        with timer.stage("shard_setup"):
+            executor = executor_for(
+                self.jobs, self.executor, replay=self.replay is not None
+            )
+            tasks = self.shard_tasks()
+            packed = False
+            if isinstance(executor, SequentialExecutor):
+                # In-process shards can share one classification
+                # cache, so keys common to several services classify
+                # once per corpus (results are unchanged:
+                # classification is per-key pure).
+                shared = CachingClassifier.wrap(self.classifier)
+                for task in tasks:
+                    task.classifier = shared
+            else:
+                # Size-balance the pool: split cost-skewed services
+                # into sub-shards and let the executor run them
+                # unordered.
+                tasks = split_shard_tasks(tasks, executor.jobs)
+                if isinstance(executor, ProcessPoolShardExecutor):
+                    self._slim_tasks(tasks)
+                    packed = True
+                else:
+                    self._thread_task_classifiers(tasks)
+        work = _process_shard_packed if packed else process_shard
+        with timer.stage("execute"):
+            raw_results = executor.map_shards(tasks, work=work)
+        task_bytes = result_bytes = 0
+        if packed:
+            # Results crossed the pool pickled; unpack (and measure
+            # the IPC payloads) parent-side.
+            with timer.stage("unpack"):
+                results = [result.unpack() for result in raw_results]
+            task_bytes = sum(len(pickle.dumps(task)) for task in tasks)
+            result_bytes = sum(
+                len(pickle.dumps(result)) for result in raw_results
+            )
         else:
-            # Size-balance the pool: split cost-skewed services into
-            # sub-shards and let the executor run them unordered.
-            tasks = split_shard_tasks(tasks, self.jobs)
-        merged = self.merge(executor.map_shards(tasks))
+            results = raw_results
+        with timer.stage("merge"):
+            merged = self.merge(results)
+        stages = StageTimer()
+        for result in results:
+            stages.merge(result.stage_times)
+        merged.profile = {
+            "executor": executor.kind,
+            "jobs": executor.jobs,
+            "tasks": len(tasks),
+            "shard_setup_s": round(timer.get("shard_setup"), 6),
+            "execute_s": round(timer.get("execute"), 6),
+            "unpack_s": round(timer.get("unpack"), 6),
+            "merge_s": round(timer.get("merge"), 6),
+            "task_bytes": task_bytes,
+            "result_bytes": result_bytes,
+            "stages": stages.as_dict(),
+        }
         # Parallel shards write through the shared store file; the
         # parent process appends the run's merged counters so
         # ``cache stats`` can report per-run hit rates.

@@ -1,0 +1,150 @@
+"""Lightweight stage profiling for the audit hot path.
+
+The optimization work on the audit pipeline is measured, not guessed:
+every shard attributes its wall time to named stages (generate/decode,
+extraction, classification, store round-trips, flow building,
+labeling), the engine adds its own orchestration stages (shard setup,
+execution, result unpacking, merge), and the result is one JSON
+document with a stable schema that ``repro bench`` records next to
+every ``BENCH_<n>.json`` entry and ``repro audit --profile-out FILE``
+writes on demand.
+
+Timing uses :func:`time.perf_counter` around stage boundaries — a few
+calls per trace, well under the cost of the stages themselves — so the
+profile can stay on permanently instead of being a special mode that
+measures an execution path nobody runs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Mapping
+
+PROFILE_VERSION = 1
+
+# Engine-level keys every profile's ``engine`` section carries.
+ENGINE_PROFILE_FIELDS = (
+    "executor",
+    "jobs",
+    "tasks",
+    "shard_setup_s",
+    "execute_s",
+    "unpack_s",
+    "merge_s",
+    "task_bytes",
+    "result_bytes",
+    "stages",
+)
+
+# Shard stage names (the ``stages`` table).  A profile only contains
+# the stages that ran — a generated corpus has no ``decode`` time, a
+# run without --cache-dir has no store round-trips.
+SHARD_STAGES = (
+    "setup",
+    "generate",
+    "decode",
+    "dataset",
+    "extract",
+    "classify",
+    "store_get",
+    "store_put",
+    "flow_build",
+    "label",
+)
+
+
+class StageTimer:
+    """Accumulates wall time per named stage."""
+
+    def __init__(self) -> None:
+        self.times: dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.times[name] = self.times.get(name, 0.0) + seconds
+
+    def merge(self, other: Mapping[str, float]) -> None:
+        """Fold another timer's (or shard's) stage table into this one."""
+        for name, seconds in other.items():
+            self.add(name, seconds)
+
+    def get(self, name: str) -> float:
+        return self.times.get(name, 0.0)
+
+    def as_dict(self) -> dict[str, float]:
+        """Stage table, rounded and sorted for stable JSON output."""
+        return {name: round(seconds, 6) for name, seconds in sorted(self.times.items())}
+
+
+def profile_document(
+    workload: str,
+    wall_time_s: float,
+    engine: Mapping[str, object],
+    downstream_s: float = 0.0,
+) -> dict:
+    """One schema-versioned profile document.
+
+    ``engine`` is :attr:`repro.pipeline.engine.EngineOutput.profile`;
+    ``downstream_s`` is everything after the merge (audit assembly,
+    linkability, census).
+    """
+    return {
+        "version": PROFILE_VERSION,
+        "workload": workload,
+        "wall_time_s": round(wall_time_s, 6),
+        "engine": dict(engine),
+        "downstream_s": round(downstream_s, 6),
+    }
+
+
+def validate_profile(document: Mapping) -> None:
+    """Raise ``ValueError`` unless ``document`` is a valid profile."""
+    if not isinstance(document, Mapping):
+        raise ValueError("profile document must be a mapping")
+    missing = {"version", "workload", "wall_time_s", "engine", "downstream_s"} - set(
+        document
+    )
+    if missing:
+        raise ValueError(f"profile document missing fields: {sorted(missing)}")
+    if document["version"] != PROFILE_VERSION:
+        raise ValueError(
+            f"unsupported profile version {document['version']!r} "
+            f"(expected {PROFILE_VERSION})"
+        )
+    engine = document["engine"]
+    if not isinstance(engine, Mapping):
+        raise ValueError("profile 'engine' section must be a mapping")
+    missing = set(ENGINE_PROFILE_FIELDS) - set(engine)
+    if missing:
+        raise ValueError(f"profile engine section missing fields: {sorted(missing)}")
+    stages = engine["stages"]
+    if not isinstance(stages, Mapping):
+        raise ValueError("profile 'engine.stages' must be a mapping")
+    unknown = set(stages) - set(SHARD_STAGES)
+    if unknown:
+        raise ValueError(f"profile has unknown stages: {sorted(unknown)}")
+    for key in ("wall_time_s", "downstream_s"):
+        if not isinstance(document[key], (int, float)):
+            raise ValueError(f"profile {key!r} must be a number")
+    for name, seconds in stages.items():
+        if not isinstance(seconds, (int, float)) or seconds < 0:
+            raise ValueError(f"profile stage {name!r} must be a non-negative number")
+
+
+def write_profile(path: Path | str, document: Mapping) -> Path:
+    """Validate and write one profile document as JSON."""
+    validate_profile(document)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path

@@ -327,6 +327,23 @@ class PayloadFactory:
                 self.registry.register(key, label, opaque=True)
                 pool.append(key)
             self._pools[label] = pool
+        # pick_keys splits each pool into clear/opaque on every call
+        # otherwise — at corpus scale that filter dominated generation.
+        # Pools and the opaque set are fixed after construction, so the
+        # split is computed once per category.
+        opaque = self.registry.opaque
+        self._clear_pools = {
+            label: [k for k in pool if k not in opaque]
+            for label, pool in self._pools.items()
+        }
+        self._opaque_pools = {
+            label: [k for k in pool if k in opaque]
+            for label, pool in self._pools.items()
+        }
+        self._canonical_pools = {
+            label: list(STABLE_KEYS.get(label) or BASE_KEYS[label])
+            for label in self._pools
+        }
 
     def _variants(self, base: str, count: int) -> list[str]:
         """Shape/prefix/wrap variants of one base key.
@@ -398,20 +415,17 @@ class PayloadFactory:
         well-known names (``idfa``, ``bid_price``, ``campaign_id``).
         """
         pool = self._pools[label]
-        clear = [k for k in pool if k not in self.registry.opaque]
+        clear = self._clear_pools[label]
         picks: list[str] = []
         for _ in range(count):
             if canonical:
-                stable = STABLE_KEYS.get(label)
-                picks.append(
-                    rng.choice(list(stable) if stable else list(BASE_KEYS[label]))
-                )
+                picks.append(rng.choice(self._canonical_pools[label]))
                 continue
             if avoid_opaque and clear:
                 picks.append(rng.choice(clear))
                 continue
             if rng.random() < 0.12:
-                opaque = [k for k in pool if k in self.registry.opaque]
+                opaque = self._opaque_pools[label]
                 if opaque:
                     picks.append(rng.choice(opaque))
                     continue

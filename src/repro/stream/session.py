@@ -225,7 +225,11 @@ class StreamAudit:
         )
         # Classification counters are session-wide (one shared cache),
         # not per-shard; surface them on the merged view for stats.
-        merged.cache_hits = self._cache.hits
+        # Builder label-table lookups count as hits — they are the
+        # per-request resolutions that used to go through the cache.
+        merged.cache_hits = self._cache.hits + sum(
+            state.builder.lookup_hits for state in self._services.values()
+        )
         merged.cache_misses = self._cache.misses
         if isinstance(self.classifier, PersistentClassifier):
             merged.store_hits = self.classifier.store_hits

@@ -9,10 +9,12 @@ from repro.bench import (
     BenchError,
     bench_entries,
     compare_entries,
+    evaluate_gates,
     load_entry,
     run_bench,
     validate_entry,
 )
+from repro.pipeline.profile import validate_profile
 
 
 def _record(workload="decode", **overrides) -> dict:
@@ -176,3 +178,115 @@ class TestRepoTrajectory:
         )
         assert args.func.__name__ == "cmd_bench"
         assert args.quick is True
+
+
+class TestEvaluateGates:
+    """The ``--min-*`` perf gates over a recorded entry."""
+
+    def _document(self, **overrides) -> dict:
+        document = {
+            "workloads": [_record()],
+            "compared_to": {
+                "file": "BENCH_1.json",
+                "decode": {"throughput_speedup": 1.4},
+                "audit": {"throughput_speedup": 1.8},
+                "audit-parallel": {"throughput_speedup": 1.3},
+            },
+            "audit_parallel_vs_sequential": 1.1,
+        }
+        document.update(overrides)
+        return document
+
+    def test_unarmed_gates_are_silent(self):
+        assert evaluate_gates(self._document()) == ([], [])
+
+    def test_trajectory_gates_pass_above_minimum(self):
+        warnings, errors = evaluate_gates(
+            self._document(),
+            min_decode_speedup=1.0,
+            min_audit_speedup=1.5,
+            min_audit_parallel_speedup=1.2,
+        )
+        assert warnings == [] and errors == []
+
+    def test_trajectory_gate_fails_below_minimum(self):
+        warnings, errors = evaluate_gates(
+            self._document(), min_audit_speedup=2.0
+        )
+        assert warnings == []
+        assert len(errors) == 1
+        assert "audit speedup" in errors[0]
+        assert "2.00x" in errors[0]
+
+    def test_each_workload_gates_independently(self):
+        _, errors = evaluate_gates(
+            self._document(),
+            min_decode_speedup=5.0,
+            min_audit_speedup=5.0,
+            min_audit_parallel_speedup=5.0,
+        )
+        assert len(errors) == 3
+
+    def test_missing_baseline_warns_instead_of_disarming(self):
+        document = self._document()
+        del document["compared_to"]
+        warnings, errors = evaluate_gates(document, min_audit_speedup=1.5)
+        assert errors == []
+        assert len(warnings) == 1
+        assert "no previous entry" in warnings[0]
+
+    def test_missing_workload_comparison_warns(self):
+        document = self._document()
+        del document["compared_to"]["audit-parallel"]
+        warnings, errors = evaluate_gates(
+            document, min_audit_parallel_speedup=1.2
+        )
+        assert errors == []
+        assert len(warnings) == 1
+
+    def test_parallel_efficiency_gate(self):
+        _, errors = evaluate_gates(
+            self._document(), min_parallel_efficiency=1.0
+        )
+        assert errors == []
+        _, errors = evaluate_gates(
+            self._document(audit_parallel_vs_sequential=0.8),
+            min_parallel_efficiency=1.0,
+        )
+        assert len(errors) == 1
+        assert "parallel efficiency" in errors[0]
+
+    def test_parallel_efficiency_warns_without_both_workloads(self):
+        document = self._document()
+        del document["audit_parallel_vs_sequential"]
+        warnings, errors = evaluate_gates(
+            document, min_parallel_efficiency=1.0
+        )
+        assert errors == []
+        assert len(warnings) == 1
+
+
+class TestProfileSidecar:
+    def test_audit_workloads_record_validated_profiles(self, tmp_path):
+        path, document = run_bench(
+            tmp_path,
+            scale=0.002,
+            repeats=1,
+            workloads=("audit", "audit-parallel"),
+        )
+        assert document["audit_parallel_vs_sequential"] > 0
+        sidecar = tmp_path / f"{path.stem}.profile.json"
+        assert sidecar.exists()
+        profiles = json.loads(sidecar.read_text())
+        assert set(profiles) == {"audit", "audit-parallel"}
+        for name, profile in profiles.items():
+            validate_profile(profile)
+            assert profile["workload"] == name
+        assert profiles["audit"]["engine"]["executor"] == "sequential"
+        assert profiles["audit-parallel"]["engine"]["jobs"] == 2
+
+    def test_decode_only_entries_have_no_sidecar(self, tmp_path):
+        path, _ = run_bench(
+            tmp_path, scale=0.002, repeats=1, workloads=("decode",)
+        )
+        assert not (tmp_path / f"{path.stem}.profile.json").exists()

@@ -209,3 +209,84 @@ class TestValidationHarness:
         report = validate_classifier(Gpt4Classifier(), sample)
         with pytest.raises(KeyError):
             report.at(0.5)
+
+
+# ----------------------------------------------------------------------
+# Property tests: classify_batch ≡ map(classify)
+# ----------------------------------------------------------------------
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.datatypes.cache import CachingClassifier  # noqa: E402
+from repro.datatypes.store import (  # noqa: E402
+    PersistentClassifier,
+    store_path_for,
+)
+
+# Keys as they appear in traffic: short, lowercase, digits and
+# underscores.  Duplicates and the empty string are deliberately in
+# range — batching must tolerate multisets, not just key sets.
+_KEY = st.text(alphabet="abcdef_0123456789", max_size=12)
+_KEYS = st.lists(_KEY, max_size=20)
+
+
+class TestBatchPointwiseProperty:
+    """For every classifier layer the engine stacks, ``classify_batch``
+    over ANY multiset of keys must equal the per-item ``classify`` map
+    — order kept, duplicates answered consistently.  This is the
+    property all the batching/memoization optimizations lean on."""
+
+    TFIDF = TfidfFuzzyClassifier()
+    BERT = BertFuzzyClassifier()
+
+    @settings(max_examples=25, deadline=None)
+    @given(keys=_KEYS)
+    def test_tfidf_batch_matches_per_item(self, keys):
+        assert self.TFIDF.classify_batch(keys) == [
+            self.TFIDF.classify(key) for key in keys
+        ]
+
+    @settings(max_examples=25, deadline=None)
+    @given(keys=_KEYS)
+    def test_bertsim_batch_matches_per_item(self, keys):
+        assert self.BERT.classify_batch(keys) == [
+            self.BERT.classify(key) for key in keys
+        ]
+
+    @settings(max_examples=25, deadline=None)
+    @given(keys=_KEYS)
+    def test_fresh_cache_batch_matches_per_item(self, keys):
+        cache = CachingClassifier(TfidfFuzzyClassifier())
+        assert cache.classify_batch(keys) == [
+            self.TFIDF.classify(key) for key in keys
+        ]
+
+    @settings(max_examples=25, deadline=None)
+    @given(keys=_KEYS, primed=_KEYS)
+    def test_primed_cache_batch_matches_per_item(self, keys, primed):
+        # A cache warmed with an arbitrary other multiset must answer
+        # identically to the bare classifier — hits and misses mixed.
+        cache = CachingClassifier(TfidfFuzzyClassifier())
+        cache.classify_batch(primed)
+        assert cache.classify_batch(keys) == [
+            self.TFIDF.classify(key) for key in keys
+        ]
+
+
+class TestStoreBatchProperty:
+    """The persistent-store layer under the same property: the store
+    starts absent and warms across examples, so early draws exercise
+    the miss path and later draws the primed round-trip path."""
+
+    @pytest.fixture(scope="class")
+    def store_classifier(self, tmp_path_factory):
+        path = store_path_for(tmp_path_factory.mktemp("prop-store"))
+        return PersistentClassifier.wrap(TfidfFuzzyClassifier(), path)
+
+    @settings(max_examples=25, deadline=None)
+    @given(keys=_KEYS)
+    def test_store_batch_matches_per_item(self, store_classifier, keys):
+        plain = TfidfFuzzyClassifier()
+        assert store_classifier.classify_batch(keys) == [
+            plain.classify(key) for key in keys
+        ]

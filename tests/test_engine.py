@@ -1,5 +1,8 @@
 """Unit tests for the parallel sharded audit engine."""
 
+import json
+import pickle
+
 import pytest
 
 from repro import CorpusConfig, DiffAudit
@@ -14,8 +17,11 @@ from repro.pipeline.engine import (
     AuditEngine,
     ProcessPoolShardExecutor,
     SequentialExecutor,
+    ThreadPoolShardExecutor,
     executor_for,
+    pack_shard_result,
     partition_costs,
+    process_shard,
     shard_unit_costs,
     split_shard_tasks,
 )
@@ -359,6 +365,136 @@ class TestSizeBalancedScheduling:
         assert results == [0, 1, 2, 3, 4]
 
 
+class TestExecutorSelection:
+    """``--executor KIND`` / ``--jobs N`` → the executor that runs."""
+
+    def test_explicit_kinds_honoured(self):
+        assert isinstance(executor_for(2, "sequential"), SequentialExecutor)
+        thread = executor_for(2, "thread")
+        assert isinstance(thread, ThreadPoolShardExecutor)
+        assert thread.jobs == 2
+        process = executor_for(2, "process")
+        assert isinstance(process, ProcessPoolShardExecutor)
+        assert process.jobs == 2
+
+    def test_explicit_pools_allowed_at_one_job(self):
+        assert isinstance(executor_for(1, "thread"), ThreadPoolShardExecutor)
+        assert isinstance(executor_for(1, "process"), ProcessPoolShardExecutor)
+
+    def test_auto_is_sequential_at_one_job(self):
+        assert isinstance(executor_for(1, "auto"), SequentialExecutor)
+        assert isinstance(
+            executor_for(1, "auto", replay=True), SequentialExecutor
+        )
+
+    def test_auto_prefers_threads_for_replay(self):
+        # Replayed corpora are decode I/O + store round-trips — both
+        # GIL-releasing — so auto picks the zero-serialization pool.
+        assert isinstance(
+            executor_for(4, "auto", replay=True), ThreadPoolShardExecutor
+        )
+        assert isinstance(
+            executor_for(4, "auto", replay=False), ProcessPoolShardExecutor
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            executor_for(2, "fibers")
+
+    def test_thread_pool_returns_results_in_input_order(self):
+        items = [_CostedItem(i, cost) for i, cost in enumerate([2, 8, 4, 6, 1])]
+        results = ThreadPoolShardExecutor(jobs=3).map_shards(
+            items, work=_echo_index
+        )
+        assert results == [0, 1, 2, 3, 4]
+
+    def test_pools_short_circuit_single_tasks(self):
+        items = [_CostedItem(0, 1.0)]
+        for pool in (
+            ThreadPoolShardExecutor(jobs=4),
+            ProcessPoolShardExecutor(jobs=4),
+        ):
+            assert pool.map_shards(items, work=_echo_index) == [0]
+
+
+class TestSlimTasks:
+    """Pool-bound tasks must stay cheap to pickle."""
+
+    CONFIG = CorpusConfig(scale=0.002, seed=3, services=("tiktok", "youtube"))
+
+    def test_default_components_stripped_and_payload_small(self):
+        engine = AuditEngine(config=self.CONFIG, jobs=2)
+        tasks = split_shard_tasks(engine.shard_tasks(), 2)
+        engine._slim_tasks(tasks)
+        for task in tasks:
+            assert task.classifier is None
+            assert task.entity_db is None
+            assert task.blocklists is None
+            # The whole point of slimming: a task is a service name
+            # plus config knobs, not a pickled catalog + entity
+            # database + blocklist stack.
+            assert len(pickle.dumps(task)) < 16 * 1024
+
+    def test_slimming_forwards_cache_dir(self, tmp_path):
+        engine = AuditEngine(config=self.CONFIG, jobs=2, cache_dir=tmp_path)
+        tasks = engine.shard_tasks()
+        engine._slim_tasks(tasks)
+        assert all(task.classifier is None for task in tasks)
+        assert all(task.cache_dir == tmp_path for task in tasks)
+
+    def test_custom_classifier_still_travels(self):
+        engine = AuditEngine(
+            config=self.CONFIG, classifier=CountingClassifier(), jobs=2
+        )
+        tasks = engine.shard_tasks()
+        engine._slim_tasks(tasks)
+        for task in tasks:
+            # Only *default* components are rebuilt worker-side; a
+            # caller-customized classifier must keep travelling.
+            assert task.classifier is engine.classifier
+            assert task.entity_db is None
+            assert task.blocklists is None
+
+
+class TestPackedShardResult:
+    """The compact IPC transport must be faithful and actually compact."""
+
+    @pytest.fixture(scope="class")
+    def shard_result(self):
+        config = CorpusConfig(scale=0.002, seed=3, services=("youtube",))
+        (task,) = AuditEngine(config=config).shard_tasks()
+        return process_shard(task)
+
+    def test_round_trip_is_faithful(self, shard_result):
+        packed = pack_shard_result(shard_result)
+        revived = pickle.loads(pickle.dumps(packed)).unpack()
+        assert revived.service == shard_result.service
+        assert (
+            revived.flows.observations() == shard_result.flows.observations()
+        )
+        # Roll-ups are rebuilt on unpack, not shipped — they must
+        # still come out identical to the originals.
+        assert revived.flows._grid == shard_result.flows._grid
+        assert (
+            revived.flows._per_destination
+            == shard_result.flows._per_destination
+        )
+        assert revived.flows._party_by_fqdn == shard_result.flows._party_by_fqdn
+        assert revived.contacted == shard_result.contacted
+        assert revived.raw_keys == shard_result.raw_keys
+        assert revived.classified == shard_result.classified
+        assert revived.owners == shard_result.owners
+        assert revived.trace_count == shard_result.trace_count
+        assert revived.cache_hits == shard_result.cache_hits
+        assert revived.cache_misses == shard_result.cache_misses
+        assert revived.stage_times == shard_result.stage_times
+
+    def test_packed_pickle_is_smaller(self, shard_result):
+        raw = len(pickle.dumps(shard_result))
+        packed = len(pickle.dumps(pack_shard_result(shard_result)))
+        assert packed < raw
+
+
 class TestEngineParity:
     """Sequential and parallel paths must be result-identical."""
 
@@ -391,3 +527,90 @@ class TestEngineParity:
         AuditEngine(config=config, artifacts_dir=tmp_path).run()
         assert list(tmp_path.glob("*.har"))
         assert list(tmp_path.glob("*.pcap"))
+
+
+def _result_bytes(result) -> bytes:
+    """The audit result as canonical JSON bytes, for byte-equality."""
+    from repro.reporting.export import result_to_json
+
+    return json.dumps(result_to_json(result), sort_keys=True).encode()
+
+
+class TestExecutorParityMatrix:
+    """Every executor × jobs × store-temperature cell must produce the
+    byte-identical audit result.
+
+    This is the contract that makes the executor a pure performance
+    knob: sequential at one job is the reference, and no pool, worker
+    count, or persistent-store state may perturb a single output byte.
+    """
+
+    CONFIG = CorpusConfig(scale=0.002, seed=7, services=("tiktok", "youtube"))
+
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return _result_bytes(DiffAudit(self.CONFIG, jobs=1).run())
+
+    @pytest.fixture(scope="class")
+    def warm_cache_dir(self, tmp_path_factory):
+        cache_dir = tmp_path_factory.mktemp("parity-store")
+        DiffAudit(self.CONFIG, jobs=1, cache_dir=cache_dir).run()
+        return cache_dir
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    @pytest.mark.parametrize("executor", ["sequential", "thread", "process"])
+    def test_cold_store_parity(self, executor, jobs, baseline, tmp_path):
+        audit = DiffAudit(
+            self.CONFIG, jobs=jobs, executor=executor, cache_dir=tmp_path
+        )
+        assert _result_bytes(audit.run()) == baseline
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    @pytest.mark.parametrize("executor", ["sequential", "thread", "process"])
+    def test_warm_store_parity(self, executor, jobs, baseline, warm_cache_dir):
+        audit = DiffAudit(
+            self.CONFIG, jobs=jobs, executor=executor, cache_dir=warm_cache_dir
+        )
+        assert _result_bytes(audit.run()) == baseline
+
+
+class TestStoreRoundTripBudget:
+    """Batched priming means O(shards) store round-trips, not O(keys)."""
+
+    CONFIG = CorpusConfig(scale=0.002, seed=5, services=("tiktok", "youtube"))
+
+    def _counting_store(self, monkeypatch) -> dict:
+        from repro.datatypes.store import ClassificationStore
+
+        calls = {"get_many": 0, "put_many": 0}
+        real_get = ClassificationStore.get_many
+        real_put = ClassificationStore.put_many
+
+        def counting_get(store, classifier, texts):
+            calls["get_many"] += 1
+            return real_get(store, classifier, texts)
+
+        def counting_put(store, classifier, verdicts):
+            calls["put_many"] += 1
+            return real_put(store, classifier, verdicts)
+
+        monkeypatch.setattr(ClassificationStore, "get_many", counting_get)
+        monkeypatch.setattr(ClassificationStore, "put_many", counting_put)
+        return calls
+
+    def test_cold_audit_one_round_trip_per_shard(self, tmp_path, monkeypatch):
+        calls = self._counting_store(monkeypatch)
+        DiffAudit(self.CONFIG, jobs=1, cache_dir=tmp_path).run()
+        shards = len(self.CONFIG.service_specs())
+        assert 1 <= calls["get_many"] <= shards
+        assert 1 <= calls["put_many"] <= shards
+
+    def test_warm_audit_never_writes(self, tmp_path, monkeypatch):
+        DiffAudit(self.CONFIG, jobs=1, cache_dir=tmp_path).run()  # prime
+        calls = self._counting_store(monkeypatch)
+        DiffAudit(self.CONFIG, jobs=1, cache_dir=tmp_path).run()
+        shards = len(self.CONFIG.service_specs())
+        # One batched get per shard answers everything; a fully warm
+        # store has no misses left to write back.
+        assert 1 <= calls["get_many"] <= shards
+        assert calls["put_many"] == 0
