@@ -115,6 +115,17 @@ def git_revision(root: Path | None = None) -> str:
     return f"{rev}-dirty" if status else rev
 
 
+def _now() -> int:
+    """The one sanctioned wall-clock read in this codebase.
+
+    Everything the pipeline *outputs* is derived from the corpus seed;
+    the only thing allowed to know the real date is the benchmark
+    trajectory, whose entries are historical records stamped with when
+    they were taken.  Tests inject time by monkeypatching this seam.
+    """
+    return int(time.time())  # repro-lint: disable=D-NOW — BENCH entries are dated historical records; this seam is the single sanctioned call site
+
+
 def _peak_rss_kb() -> int:
     """Peak resident set of *this* process, normalized to kilobytes."""
     peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
@@ -253,6 +264,7 @@ def _child_entry(target, args: tuple, conn) -> None:
         payload = target(*args)
         payload["peak_rss_kb"] = _peak_rss_kb()
         conn.send(payload)
+    # repro-lint: disable=X-BARE-EXCEPT — child-process boundary: ship ANY failure to the parent before dying, then re-raise unchanged
     except BaseException as exc:  # surface the failure in the parent
         conn.send({"error": f"{type(exc).__name__}: {exc}"})
         raise
@@ -289,12 +301,11 @@ def _run_isolated(target, args: tuple) -> dict:
 
 def bench_entries(root: Path) -> list[tuple[int, Path]]:
     """Existing ``BENCH_<n>.json`` files, ordered by index."""
-    entries = []
-    for path in Path(root).glob(BENCH_GLOB):
-        suffix = path.stem.split("_", 1)[1]
-        if suffix.isdigit():
-            entries.append((int(suffix), path))
-    return sorted(entries)
+    return sorted(
+        (int(suffix), path)
+        for path in Path(root).glob(BENCH_GLOB)
+        if (suffix := path.stem.split("_", 1)[1]).isdigit()
+    )
 
 
 def load_entry(path: Path) -> dict:
@@ -393,7 +404,7 @@ def run_bench(
     document: dict = {
         "version": BENCH_VERSION,
         "git_rev": rev,
-        "recorded_unix": int(time.time()),
+        "recorded_unix": _now(),
         "python": ".".join(str(v) for v in sys.version_info[:3]),
         "workloads": records,
     }

@@ -11,6 +11,7 @@ Commands
 ``distill``    train the small local classifier from the LLM teacher
 ``cache``      inspect/maintain the persistent classification store
 ``bench``      run the benchmark suite and record ``BENCH_<n>.json``
+``lint``       static invariant analysis (determinism/executor/sync)
 
 ``audit``, ``report``, ``stream`` and ``classify`` accept
 ``--cache-dir DIR`` to persist classifications across runs and worker
@@ -31,6 +32,8 @@ from pathlib import Path
 
 from repro import CorpusConfig, DiffAudit
 from repro.datatypes.store import StoreError
+from repro.lint.cli import add_lint_arguments
+from repro.lint.cli import run_from_args as _run_lint_args
 from repro.pipeline.engine import EXECUTOR_KINDS
 from repro.pipeline.replay import ReplayCorpus, ReplayError, replay_config
 from repro.services.catalog import SERVICES
@@ -727,6 +730,11 @@ def cmd_bench(args) -> int:
     return bench_main(argv)
 
 
+def cmd_lint(args) -> int:
+    """``repro lint`` — thin shim over :mod:`repro.lint.cli`."""
+    return _run_lint_args(args)
+
+
 def _package_version() -> str:
     """The installed distribution's version, else the source tree's.
 
@@ -1055,6 +1063,13 @@ def build_parser() -> argparse.ArgumentParser:
         "throughput (needs >1 physical core to exceed 1.0)",
     )
     bench.set_defaults(func=cmd_bench)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically enforce determinism/executor/sync invariants",
+    )
+    add_lint_arguments(lint)
+    lint.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -1,0 +1,241 @@
+"""D family: determinism rules.
+
+Everything this reproduction promises rests on byte-identical output
+for a given seed — across executors, across runs, across machines.
+These rules flag the three ways nondeterminism usually sneaks in:
+shared module-level RNG state, wall-clock reads, and iteration over
+unordered containers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import AstRule, Finding, ModuleSource
+
+#: ``random``-module functions that touch the shared global RNG.
+#: ``random.Random``/``random.SystemRandom`` construct independent
+#: (seedable) generators and are the sanctioned alternative.
+UNSEEDED_RANDOM_FNS = frozenset(
+    {
+        "random",
+        "seed",
+        "getstate",
+        "setstate",
+        "getrandbits",
+        "randbytes",
+        "randrange",
+        "randint",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "triangular",
+        "betavariate",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "lognormvariate",
+        "normalvariate",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+    }
+)
+
+#: Wall-clock / entropy reads, matched against the dotted call name.
+#: ``time.perf_counter``/``time.monotonic`` are fine — they measure
+#: durations, they never leak the date into output.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "os.urandom",
+    }
+)
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a pure Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _imports_module(tree: ast.Module, name: str) -> bool:
+    """True when the file imports ``name`` (at any nesting level)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(alias.name == name for alias in node.names):
+                return True
+    return False
+
+
+class UnseededRandomRule(AstRule):
+    """D-RANDOM: calls into the shared module-level RNG."""
+
+    rule_id = "D-RANDOM"
+    severity = "error"
+    summary = (
+        "unseeded random.* module call — shared global RNG state makes "
+        "output depend on call order across shards and sessions"
+    )
+    hint = "seed an instance: rng = random.Random(seed); rng.choice(...)"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        uses_random = _imports_module(module.tree, "random")
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name in UNSEEDED_RANDOM_FNS:
+                        yield self.finding(
+                            module.rel,
+                            node.lineno,
+                            node.col_offset + 1,
+                            f"from random import {alias.name} pulls in the "
+                            "shared global RNG",
+                        )
+            if not uses_random:
+                continue
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "random"
+                    and func.attr in UNSEEDED_RANDOM_FNS
+                ):
+                    yield self.finding(
+                        module.rel,
+                        node.lineno,
+                        node.col_offset + 1,
+                        f"random.{func.attr}() uses the shared global RNG",
+                    )
+
+
+class WallClockRule(AstRule):
+    """D-NOW: wall-clock or entropy reads outside the sanctioned seam."""
+
+    rule_id = "D-NOW"
+    severity = "error"
+    summary = (
+        "wall-clock/entropy read (time.time, datetime.now, uuid4, "
+        "os.urandom) — output would differ run to run"
+    )
+    hint = (
+        "derive timestamps from the corpus seed/config, or route through "
+        "an injectable seam with a justified suppression"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            for banned in WALL_CLOCK_CALLS:
+                if dotted == banned or dotted.endswith("." + banned):
+                    yield self.finding(
+                        module.rel,
+                        node.lineno,
+                        node.col_offset + 1,
+                        f"{dotted}() reads the wall clock / OS entropy",
+                    )
+                    break
+
+
+# Callables whose result does not depend on iteration order: feeding
+# them an unordered iterable is harmless.
+_ORDER_INSENSITIVE_CALLS = frozenset(
+    {"sorted", "sum", "min", "max", "len", "any", "all", "set", "frozenset"}
+)
+
+
+def _unordered_source(node: ast.expr) -> str | None:
+    """Describe ``node`` when its iteration order is undefined."""
+    if isinstance(node, ast.Set):
+        return "set literal"
+    if isinstance(node, ast.SetComp):
+        return "set comprehension"
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func)
+        if dotted in ("set", "frozenset"):
+            return f"{dotted}(...)"
+        if dotted in ("glob.glob", "glob.iglob", "os.listdir", "os.scandir"):
+            return f"{dotted}(...)"
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "iterdir",
+            "glob",
+            "rglob",
+        ):
+            return f".{node.func.attr}(...)"
+    return None
+
+
+class UnsortedIterationRule(AstRule):
+    """D-SORT: iterating an unordered source where order can leak out."""
+
+    rule_id = "D-SORT"
+    severity = "error"
+    summary = (
+        "iteration over an unordered source (set, glob, listdir, iterdir) "
+        "in an order-sensitive position"
+    )
+    hint = "wrap the iterable in sorted(...) to pin a deterministic order"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        # Iterables in a provably order-insensitive position: direct
+        # argument of a commutative reducer, or the generators of a
+        # comprehension that *builds* an unordered container anyway
+        # (set/dict comprehensions — their result ignores order).
+        sanctioned: set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted in _ORDER_INSENSITIVE_CALLS:
+                    for arg in node.args:
+                        sanctioned.add(id(arg))
+                        # sum(… for … in SRC): the genexp's sources
+                        # inherit the reducer's order-insensitivity.
+                        if isinstance(arg, ast.GeneratorExp):
+                            for comp in arg.generators:
+                                sanctioned.add(id(comp.iter))
+            if isinstance(node, (ast.SetComp, ast.DictComp)):
+                for comp in node.generators:
+                    sanctioned.add(id(comp.iter))
+
+        def flag(iter_node: ast.expr) -> Iterator[Finding]:
+            if id(iter_node) in sanctioned:
+                return
+            description = _unordered_source(iter_node)
+            if description is not None:
+                yield self.finding(
+                    module.rel,
+                    iter_node.lineno,
+                    iter_node.col_offset + 1,
+                    f"iterating {description} in undefined order",
+                )
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from flag(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                for comp in node.generators:
+                    yield from flag(comp.iter)
+
+
+ALL = (UnseededRandomRule(), WallClockRule(), UnsortedIterationRule())

@@ -1,0 +1,73 @@
+"""Render one :class:`LintResult` as text or JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """The default one-line-per-finding report, hint included."""
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col}: "
+            f"{finding.rule} [{finding.severity}] {finding.message}"
+        )
+        if finding.hint:
+            lines.append(f"    hint: {finding.hint}")
+    for finding in result.baselined:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col}: "
+            f"{finding.rule} [baselined] {finding.message}"
+        )
+    for rule, path, message in result.stale_baseline:
+        lines.append(
+            f"{path}: stale baseline entry for {rule} "
+            f"(no longer fires): {message}"
+        )
+    errors = sum(1 for f in result.findings if f.severity == "error")
+    warnings = len(result.findings) - errors
+    summary = (
+        f"{len(result.findings)} finding(s) "
+        f"({errors} error(s), {warnings} warning(s))"
+    )
+    if result.baselined:
+        summary += f", {len(result.baselined)} baselined"
+    if result.stale_baseline:
+        summary += f", {len(result.stale_baseline)} stale baseline entrie(s)"
+    summary += f" — {result.files_scanned} file(s) scanned"
+    if result.ok:
+        summary = f"lint ok: {summary}"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    document = {
+        "version": 1,
+        "ok": result.ok,
+        "files_scanned": result.files_scanned,
+        "findings": [
+            {
+                "rule": f.rule,
+                "severity": f.severity,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "hint": f.hint,
+            }
+            for f in result.findings
+        ],
+        "baselined": [
+            {"rule": f.rule, "path": f.path, "message": f.message}
+            for f in result.baselined
+        ],
+        "stale_baseline": [
+            {"rule": rule, "path": path, "message": message}
+            for rule, path, message in result.stale_baseline
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

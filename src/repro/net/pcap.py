@@ -125,7 +125,7 @@ class PcapReader:
             )
             if (major, minor) != (2, 4):
                 raise PcapError(f"unsupported pcap version {major}.{minor}")
-        except Exception:
+        except (PcapError, struct.error):
             # Release the export eagerly so a caller-owned mmap can be
             # closed even while this traceback is still referenced.
             view.release()
@@ -153,6 +153,7 @@ class PcapReader:
             raise
         try:
             reader = cls(mapped)
+        # repro-lint: disable=X-BARE-EXCEPT — resource guard: the mmap and file handle must close on ANY failure, then re-raise unchanged
         except BaseException:
             mapped.close()
             handle.close()

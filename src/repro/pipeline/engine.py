@@ -81,7 +81,7 @@ from repro.services.catalog import ServiceSpec
 from repro.services.generator import CorpusConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class ShardTask:
     """Everything one worker needs to process one service shard.
 
@@ -121,7 +121,7 @@ class ShardTask:
     estimated_cost: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class ShardResult:
     """One service's slice of the corpus, ready to merge."""
 
@@ -412,7 +412,7 @@ def process_shard(task: ShardTask) -> ShardResult:
 # ----------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class PackedShardResult:
     """A :class:`ShardResult` flattened for cheap pickling.
 
@@ -675,7 +675,7 @@ def split_shard_tasks(tasks: list[ShardTask], jobs: int) -> list[ShardTask]:
     return _apply_split_plans(tasks, per_task_costs, jobs, _shard_sub_task)
 
 
-@dataclass
+@dataclass(slots=True)
 class GenerateShard:
     """One generate-only work item (whole service or a unit slice)."""
 
@@ -834,6 +834,7 @@ class ProcessPoolShardExecutor:
             try:
                 for future in as_completed(futures):
                     results[futures[future]] = future.result()
+            # repro-lint: disable=X-BARE-EXCEPT — teardown guard: terminate pool workers on ANY interrupt (incl. KeyboardInterrupt), then re-raise unchanged
             except BaseException:
                 # Snapshot the worker list first — shutdown(wait=False)
                 # nulls the executor's process table.
@@ -882,6 +883,7 @@ class ThreadPoolShardExecutor:
             try:
                 for future in as_completed(futures):
                     results[futures[future]] = future.result()
+            # repro-lint: disable=X-BARE-EXCEPT — teardown guard: cancel queued shards on ANY interrupt, then re-raise unchanged
             except BaseException:
                 pool.shutdown(wait=False, cancel_futures=True)
                 raise

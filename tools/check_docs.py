@@ -1,26 +1,14 @@
 #!/usr/bin/env python
-"""Docs sanity checker: module references and CLI snippets must be real.
+"""Docs sanity checker — a thin wrapper over the lint engine.
 
-Scans README.md and docs/*.md for
-
-* ``repro.foo.bar`` dotted module/attribute references — each must
-  resolve to an importable module or an attribute of one;
-* relative markdown links — each must point at an existing file;
-* ``$ python -m repro …`` console snippets — each must parse against
-  the actual CLI argument parser (commands and flags must exist);
-* ``docs/cli.md`` — the complete CLI reference must stay in sync with
-  the argparse tree: every (sub)command needs a ``## `repro …` ``
-  heading (the ``bench`` subcommand included), every option a command
-  defines must appear in that command's section, and every
-  ``--option`` token anywhere in the file must exist somewhere in the
-  CLI (no stale flags);
-* ``docs/performance.md`` — the documented ``BENCH_<n>.json`` schema
-  must cover every field in ``repro.bench.BENCH_SCHEMA_FIELDS``;
-* ``docs/cli.md`` — every named impairment profile
-  (``repro.stream.impair.IMPAIRMENT_PROFILES``) and every named load
-  profile (``repro.services.generator.LOAD_PROFILES``) must appear as
-  an inline-code token, so ``--impair``/``--profile`` choices are
-  never undocumented.
+The checks that used to live here (module references, markdown
+links, CLI snippets, the ``docs/cli.md`` ↔ argparse sync, the BENCH
+schema coverage, the named-profile coverage) are now first-class
+rules in :mod:`repro.lint` — ``S-DOC-REF``, ``S-CLI-DOC``,
+``S-BENCH-DOC`` and ``S-PROFILE-DOC`` — so there is one analyzer,
+one report format, one exit code.  This wrapper keeps the historical
+entry point (and the CI docs job) working by running exactly that
+docs-sync subset.
 
 Run from the repo root with ``PYTHONPATH=src python tools/check_docs.py``.
 Exits non-zero listing every broken reference.
@@ -28,224 +16,28 @@ Exits non-zero listing every broken reference.
 
 from __future__ import annotations
 
-import importlib
-import re
-import shlex
 import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
-DOC_FILES = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+sys.path.insert(0, str(ROOT / "src"))
 
-MODULE_REF = re.compile(r"\brepro(?:\.[a-z_][a-z0-9_]*)+\b")
-MD_LINK = re.compile(r"\[[^\]]+\]\(([^)]+)\)")
-CLI_SNIPPET = re.compile(r"^\$ (?:PYTHONPATH=\S+ )?python -m repro (.+)$", re.MULTILINE)
-
-
-def check_module_ref(ref: str) -> bool:
-    """True when ``ref`` is an importable module or module attribute."""
-    parts = ref.split(".")
-    for split in range(len(parts), 0, -1):
-        module_name = ".".join(parts[:split])
-        try:
-            module = importlib.import_module(module_name)
-        except ImportError:
-            continue
-        obj = module
-        try:
-            for attr in parts[split:]:
-                obj = getattr(obj, attr)
-        except AttributeError:
-            return False
-        return True
-    return False
-
-
-def check_cli_snippet(arg_line: str) -> str | None:
-    """Parse one documented invocation; return an error string or None."""
-    from repro.cli import build_parser
-
-    argv = shlex.split(arg_line)
-    # Neutralize writes: parsing only needs the shape, not the paths.
-    try:
-        build_parser().parse_args(argv)
-    except SystemExit:
-        return f"does not parse: python -m repro {arg_line}"
-    return None
-
-
-def iter_cli_commands(parser, prefix: str = "repro"):
-    """Yield ``(command_path, parser)`` for every subcommand, recursively."""
-    import argparse
-
-    for action in parser._actions:
-        if isinstance(action, argparse._SubParsersAction):
-            seen = set()
-            for name, sub in action.choices.items():
-                if id(sub) in seen:  # aliases map to the same parser
-                    continue
-                seen.add(id(sub))
-                path = f"{prefix} {name}"
-                yield path, sub
-                yield from iter_cli_commands(sub, path)
-
-
-def command_options(parser) -> set[str]:
-    """The long option strings one command defines (``--help`` aside)."""
-    return {
-        option
-        for action in parser._actions
-        for option in action.option_strings
-        if option.startswith("--") and option != "--help"
-    }
-
-
-CLI_HEADING = re.compile(r"^#+ .*`(repro[^`]*)`", re.MULTILINE)
-CLI_OPTION = re.compile(r"`(--[a-z][a-z-]*)`")
-# Greedy token scan for coverage checks: matches the longest flag at
-# each position, so documenting `--cache-dir` can never be mistaken
-# for documenting a hypothetical `--cache`.
-OPTION_TOKEN = re.compile(r"--[a-z][a-z-]*")
-
-
-def check_cli_reference() -> list[str]:
-    """``docs/cli.md`` section-by-section against the argparse tree."""
-    from repro.cli import build_parser
-
-    path = ROOT / "docs" / "cli.md"
-    rel = path.relative_to(ROOT)
-    if not path.exists():
-        return [f"{rel}: missing"]
-    text = path.read_text(encoding="utf-8")
-    errors: list[str] = []
-
-    commands = dict(iter_cli_commands(build_parser()))
-    headings = [
-        (match.start(), match.group(1).strip())
-        for match in CLI_HEADING.finditer(text)
-    ]
-    sections: dict[str, str] = {}
-    for index, (start, name) in enumerate(headings):
-        end = headings[index + 1][0] if index + 1 < len(headings) else len(text)
-        sections[name] = text[start:end]
-
-    for name in sections:
-        if name != "repro" and name not in commands:
-            errors.append(f"{rel}: section for unknown command {name!r}")
-    # Flags shared by several commands (--seed, --jobs, …) may be
-    # documented once in the preamble instead of in every section.
-    preamble = text[: headings[0][0]] if headings else text
-    shared = set(OPTION_TOKEN.findall(preamble))
-    for name, parser in commands.items():
-        section = sections.get(name)
-        if section is None:
-            errors.append(f"{rel}: no section heading for `{name}`")
-            continue
-        documented = set(OPTION_TOKEN.findall(section)) | shared
-        for option in sorted(command_options(parser) - documented):
-            errors.append(
-                f"{rel}: `{name}` section does not document {option}"
-            )
-
-    all_options = {
-        option
-        for parser in commands.values()
-        for option in command_options(parser)
-    }
-    for option in sorted(set(CLI_OPTION.findall(text)) - all_options):
-        errors.append(f"{rel}: documents nonexistent option {option}")
-    return errors
-
-
-def check_named_profiles() -> list[str]:
-    """Every named impairment/load profile must be documented.
-
-    ``--impair`` and ``--profile`` take closed sets of names; a
-    profile added to the code without a line in ``docs/cli.md`` would
-    be invisible to users reading the reference.
-    """
-    from repro.services.generator import LOAD_PROFILES
-    from repro.stream.impair import IMPAIRMENT_PROFILES
-
-    path = ROOT / "docs" / "cli.md"
-    rel = path.relative_to(ROOT)
-    if not path.exists():
-        return [f"{rel}: missing"]
-    text = path.read_text(encoding="utf-8")
-    documented = set(re.findall(r"`([a-z][a-z-]*)`", text))
-    errors = [
-        f"{rel}: impairment profile `{name}` is not documented"
-        for name in IMPAIRMENT_PROFILES
-        if name not in documented
-    ]
-    errors.extend(
-        f"{rel}: load profile `{name}` is not documented"
-        for name in LOAD_PROFILES
-        if name not in documented
-    )
-    return errors
-
-
-def check_bench_schema() -> list[str]:
-    """``docs/performance.md`` must document every BENCH schema field.
-
-    The benchmark trajectory is only useful if its on-disk schema is
-    readable without the source; any field added to
-    ``repro.bench.BENCH_SCHEMA_FIELDS`` has to show up (as an inline
-    ```code` `` token) in the performance page.
-    """
-    from repro.bench import BENCH_SCHEMA_FIELDS
-
-    path = ROOT / "docs" / "performance.md"
-    rel = path.relative_to(ROOT)
-    if not path.exists():
-        return [f"{rel}: missing"]
-    text = path.read_text(encoding="utf-8")
-    documented = set(re.findall(r"`([a-z_]+)`", text))
-    return [
-        f"{rel}: BENCH schema field `{field}` is not documented"
-        for field in BENCH_SCHEMA_FIELDS
-        if field not in documented
-    ]
+from repro.lint import doc_rules, run_lint  # noqa: E402
 
 
 def main() -> int:
-    errors: list[str] = []
-    errors.extend(check_cli_reference())
-    errors.extend(check_bench_schema())
-    errors.extend(check_named_profiles())
-    for path in DOC_FILES:
-        if not path.exists():
-            errors.append(f"{path.relative_to(ROOT)}: missing")
-            continue
-        text = path.read_text(encoding="utf-8")
-        rel = path.relative_to(ROOT)
-
-        for ref in sorted(set(MODULE_REF.findall(text))):
-            if not check_module_ref(ref):
-                errors.append(f"{rel}: unresolvable module reference {ref!r}")
-
-        for target in MD_LINK.findall(text):
-            if "://" in target or target.startswith("mailto:"):
-                continue  # external links are out of scope offline
-            file_part = target.split("#", 1)[0]
-            if not file_part:
-                continue  # same-file anchor
-            target_path = (path.parent / file_part).resolve()
-            if not target_path.exists():
-                errors.append(f"{rel}: broken link {target!r}")
-
-        for arg_line in CLI_SNIPPET.findall(text):
-            error = check_cli_snippet(arg_line.strip())
-            if error:
-                errors.append(f"{rel}: {error}")
-
-    if errors:
-        print(f"{len(errors)} doc problem(s):", file=sys.stderr)
-        for error in errors:
-            print(f"  {error}", file=sys.stderr)
+    result = run_lint(ROOT, targets=[], rules=doc_rules())
+    if result.findings:
+        print(f"{len(result.findings)} doc problem(s):", file=sys.stderr)
+        for finding in result.findings:
+            print(
+                f"  {finding.path}:{finding.line}: "
+                f"[{finding.rule}] {finding.message}",
+                file=sys.stderr,
+            )
         return 1
-    print(f"docs ok: {len(DOC_FILES)} file(s) checked")
+    checked = len(list((ROOT / "docs").glob("*.md"))) + 1  # + README.md
+    print(f"docs ok: {checked} file(s) checked by {len(doc_rules())} S rules")
     return 0
 
 
