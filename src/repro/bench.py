@@ -11,7 +11,7 @@ workload record carries the schema fields in
 :data:`BENCH_SCHEMA_FIELDS` (documented in ``docs/performance.md``):
 
 * ``workload`` — which suite member ran (``decode``, ``stream``,
-  ``audit``, ``audit-parallel``);
+  ``audit``, ``audit-parallel``, ``audit-incremental``);
 * ``scale`` / ``profile`` / ``jobs`` / ``repeats`` — the knobs, so
   entries are only ever compared like-for-like;
 * ``wall_time_s`` — best-of-``repeats`` wall time;
@@ -29,7 +29,11 @@ most recent entry that ran the same workload with the same knobs.
 When both audit workloads run, the document also carries
 ``audit_parallel_vs_sequential`` — the in-entry ratio of the parallel
 audit's throughput to the sequential audit's, the number the
-``--min-parallel-efficiency`` gate holds.
+``--min-parallel-efficiency`` gate holds.  When the
+``audit-incremental`` workload runs, the document carries
+``audit_incremental_vs_cold`` — the in-entry ratio of the cold run's
+wall time to the warm incremental re-audit's, the number the
+``--min-incremental-speedup`` gate holds.
 
 Audit workloads run under stage profiling
 (:mod:`repro.pipeline.profile`): the best run's stage attribution is
@@ -228,6 +232,76 @@ def _stream_workload(scale: float, profile: str, repeats: int) -> dict:
     }
 
 
+def _audit_incremental_workload(scale: float, profile: str, repeats: int) -> dict:
+    """Warm incremental re-audit of an unchanged replayed corpus.
+
+    Setup (untimed loop-wise): generate an artifacts corpus, then one
+    cold ``audit --from-artifacts --cache-dir`` run that populates the
+    classification store *and* the per-unit result cache — its wall
+    time rides along in ``detail`` as the in-entry baseline the
+    ``--min-incremental-speedup`` gate divides by.  Timed: the warm
+    incremental re-audit of the unchanged corpus, best-of-``repeats``.
+    Every warm run must perform zero per-unit recomputations and
+    export a report byte-identical to the cold run's — a violation is
+    a ``BenchError``, not a slow number.
+    """
+    import tempfile
+
+    from repro.pipeline.engine import generate_corpus_artifacts
+    from repro.reporting.export import result_to_json
+
+    config = CorpusConfig(scale=scale, profile=profile)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-incr-") as tmp:
+        artifacts = Path(tmp) / "artifacts"
+        cache = Path(tmp) / "cache"
+        traces = generate_corpus_artifacts(config, artifacts)
+        if not traces:
+            raise BenchError("audit-incremental workload produced no traces")
+
+        def audit() -> DiffAudit:
+            return DiffAudit(config=config, replay=artifacts, cache_dir=cache)
+
+        start = time.perf_counter()
+        cold_result, _ = audit().run_profiled()
+        cold_wall = time.perf_counter() - start
+        cold_json = result_to_json(cold_result)
+
+        best = float("inf")
+        best_profile: dict = {}
+        hits = 0
+        for _ in range(repeats):
+            start = time.perf_counter()
+            warm_result, warm_profile = audit().run_profiled()
+            elapsed = time.perf_counter() - start
+            engine_profile = warm_profile.get("engine", {})
+            hits = int(engine_profile.get("unit_hits", 0))
+            misses = int(engine_profile.get("unit_misses", -1))
+            if misses != 0:
+                raise BenchError(
+                    "warm incremental run recomputed "
+                    f"{misses} unit(s) on an unchanged corpus"
+                )
+            if result_to_json(warm_result) != cold_json:
+                raise BenchError(
+                    "warm incremental run diverged from the cold run"
+                )
+            if elapsed < best:
+                best = elapsed
+                best_profile = warm_profile
+        return {
+            "wall_time_s": round(best, 4),
+            "throughput": round(traces / best, 3),
+            "throughput_unit": "traces/s",
+            "profile": best_profile,
+            "detail": {
+                "traces": traces,
+                "cold_wall_time_s": round(cold_wall, 4),
+                "unit_hits": hits,
+                "unit_misses": 0,
+            },
+        }
+
+
 def _audit_workload(scale: float, profile: str, jobs: int, repeats: int) -> dict:
     """End-to-end audit wall time (generate → decode → classify → audit).
 
@@ -360,7 +434,13 @@ def run_bench(
     profile: str = "standard",
     jobs: int = 2,
     repeats: int = DEFAULT_REPEATS,
-    workloads: tuple[str, ...] = ("decode", "stream", "audit", "audit-parallel"),
+    workloads: tuple[str, ...] = (
+        "decode",
+        "stream",
+        "audit",
+        "audit-parallel",
+        "audit-incremental",
+    ),
 ) -> tuple[Path, dict]:
     """Run the suite, write the next ``BENCH_<n>.json``, return both."""
     root = Path(root)
@@ -380,6 +460,11 @@ def run_bench(
         elif name == "audit-parallel":
             payload = _run_isolated(_audit_workload, (scale, profile, jobs, repeats))
             knobs = {"jobs": jobs}
+        elif name == "audit-incremental":
+            payload = _run_isolated(
+                _audit_incremental_workload, (scale, profile, repeats)
+            )
+            knobs = {"jobs": 1}
         else:
             raise BenchError(f"unknown workload {name!r}")
         stage_profile = payload.pop("profile", None)
@@ -420,6 +505,18 @@ def run_bench(
         document["audit_parallel_vs_sequential"] = round(
             parallel["throughput"] / sequential["throughput"], 3
         )
+    # In-entry incremental speedup: the warm O(delta) re-audit's wall
+    # time against the cold run measured in the same workload on the
+    # same corpus — the number --min-incremental-speedup holds.
+    incremental = next(
+        (r for r in records if r["workload"] == "audit-incremental"), None
+    )
+    if incremental and incremental.get("wall_time_s"):
+        cold_wall = incremental.get("detail", {}).get("cold_wall_time_s")
+        if cold_wall:
+            document["audit_incremental_vs_cold"] = round(
+                cold_wall / incremental["wall_time_s"], 3
+            )
     # Baseline = the most recent entry with at least one like-for-like
     # record, not blindly the newest file: an interleaved --quick CI
     # entry must not disarm comparisons for full-scale recordings.
@@ -449,6 +546,7 @@ def evaluate_gates(
     min_audit_speedup: float | None = None,
     min_audit_parallel_speedup: float | None = None,
     min_parallel_efficiency: float | None = None,
+    min_incremental_speedup: float | None = None,
 ) -> tuple[list[str], list[str]]:
     """Apply the perf gates to a recorded entry.
 
@@ -495,6 +593,20 @@ def evaluate_gates(
                 f"audit parallel efficiency {ratio:.2f}x is below the "
                 f"required {min_parallel_efficiency:.2f}x"
             )
+    # In-entry gate: the warm incremental re-audit must beat the cold
+    # run it was measured against in the same entry.
+    if min_incremental_speedup is not None:
+        ratio = document.get("audit_incremental_vs_cold")
+        if ratio is None:
+            warnings.append(
+                "--min-incremental-speedup not evaluated — the entry "
+                "does not carry the audit-incremental workload"
+            )
+        elif ratio < min_incremental_speedup:
+            errors.append(
+                f"audit incremental speedup {ratio:.2f}x is below the "
+                f"required {min_incremental_speedup:.2f}x"
+            )
     return warnings, errors
 
 
@@ -509,6 +621,9 @@ def render_report(path: Path, document: dict) -> str:
     ratio = document.get("audit_parallel_vs_sequential")
     if ratio is not None:
         lines.append(f"audit parallel vs sequential: {ratio:.2f}x")
+    ratio = document.get("audit_incremental_vs_cold")
+    if ratio is not None:
+        lines.append(f"audit incremental vs cold: {ratio:.2f}x")
     compared = document.get("compared_to")
     if compared:
         lines.append(f"vs {compared['file']}:")
@@ -576,6 +691,13 @@ def main(argv: list[str] | None = None) -> int:
         help="fail unless this entry's audit-parallel throughput is at "
         "least this multiple of its sequential audit throughput",
     )
+    parser.add_argument(
+        "--min-incremental-speedup",
+        type=float,
+        default=None,
+        help="fail unless this entry's warm incremental re-audit is at "
+        "least this many times faster than its in-entry cold run",
+    )
     args = parser.parse_args(argv)
     scale = args.scale if args.scale is not None else (
         QUICK_SCALE if args.quick else DEFAULT_SCALE
@@ -601,6 +723,7 @@ def main(argv: list[str] | None = None) -> int:
         min_audit_speedup=args.min_audit_speedup,
         min_audit_parallel_speedup=args.min_audit_parallel_speedup,
         min_parallel_efficiency=args.min_parallel_efficiency,
+        min_incremental_speedup=args.min_incremental_speedup,
     )
     for message in warnings:
         # Never silently disarm a gate: say why it could not run.

@@ -133,6 +133,13 @@ def _add_replay_argument(parser: argparse.ArgumentParser) -> None:
         "traffic in-memory; omitted corpus flags are filled from DIR's "
         "manifest.json",
     )
+    parser.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="with --from-artifacts and --cache-dir: disable per-unit "
+        "result reuse and recompute every trace unit (results are "
+        "byte-identical either way; this only trades time)",
+    )
 
 
 def _config(args, corpus: ReplayCorpus | None = None) -> CorpusConfig:
@@ -242,6 +249,7 @@ def cmd_audit(args) -> int:
             jobs=args.jobs,
             executor=args.executor,
             cache_dir=args.cache_dir,
+            incremental=not args.no_incremental,
         ).run_profiled()
     except (ReplayError, StoreError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -251,6 +259,20 @@ def cmd_audit(args) -> int:
 
         write_profile(args.profile_out, profile)
         print(f"wrote profile to {args.profile_out}", file=sys.stderr)
+    if args.verbose:
+        engine_profile = profile.get("engine", {})
+        if "unit_hits" in engine_profile:
+            print(
+                f"incremental replay: {engine_profile['unit_hits']} unit hits, "
+                f"{engine_profile['unit_misses']} dirty units recomputed",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "incremental replay: inactive (requires --from-artifacts "
+                "and --cache-dir)",
+                file=sys.stderr,
+            )
     provenance = corpus.provenance() if args.with_provenance else None
     return _emit_result(result, json_flag=args.json, output=args.output,
                         provenance=provenance)
@@ -509,6 +531,7 @@ def cmd_report(args) -> int:
             jobs=args.jobs,
             executor=args.executor,
             cache_dir=args.cache_dir,
+            incremental=not args.no_incremental,
         ).run()
     except (ReplayError, StoreError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -623,6 +646,14 @@ def cmd_cache_stats(args) -> int:
     print(f"entries: {stats.total_entries}")
     for name, count in stats.entries.items():
         print(f"  {name}: {count}")
+    print(f"unit results: {stats.total_unit_results}")
+    for service, count in stats.unit_results.items():
+        print(f"  {service}: {count}")
+    if stats.stale_unit_results:
+        print(
+            f"  stale (older result schema): {stats.stale_unit_results} "
+            "(prune with `cache prune --unit-results`)"
+        )
     print(f"runs recorded: {stats.run_count}")
     last = stats.last_run
     if last is not None:
@@ -669,9 +700,9 @@ def cmd_cache_export(args) -> int:
 
 
 def cmd_cache_prune(args) -> int:
-    if args.classifier is None and args.below is None:
+    if args.classifier is None and args.below is None and not args.unit_results:
         print(
-            "error: prune needs --classifier and/or --below "
+            "error: prune needs --classifier, --below and/or --unit-results "
             "(use `cache clear` to wipe the store)",
             file=sys.stderr,
         )
@@ -681,11 +712,21 @@ def cmd_cache_prune(args) -> int:
         return 2
     try:
         with store:
-            removed = store.prune(classifier=args.classifier, below=args.below)
+            removed = 0
+            if args.classifier is not None or args.below is not None:
+                removed = store.prune(
+                    classifier=args.classifier, below=args.below
+                )
+            removed_units = (
+                store.prune_unit_results() if args.unit_results else 0
+            )
     except StoreError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(f"pruned {removed} entries")
+    message = f"pruned {removed} entries"
+    if args.unit_results:
+        message += f" and {removed_units} stale unit results"
+    print(message)
     return 0
 
 
@@ -726,6 +767,10 @@ def cmd_bench(args) -> int:
     if args.min_parallel_efficiency is not None:
         argv.extend(
             ["--min-parallel-efficiency", str(args.min_parallel_efficiency)]
+        )
+    if args.min_incremental_speedup is not None:
+        argv.extend(
+            ["--min-incremental-speedup", str(args.min_incremental_speedup)]
         )
     return bench_main(argv)
 
@@ -786,6 +831,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a stage-attribution profile of this run (wall time per "
         "pipeline stage, executor overheads, IPC payload sizes) as JSON",
+    )
+    audit.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print incremental-replay unit hit/miss counts to stderr "
+        "(how many trace units were served from the unit-result cache "
+        "vs recomputed)",
     )
     audit.set_defaults(func=cmd_audit)
 
@@ -987,6 +1039,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="delete entries with confidence below this threshold",
     )
+    cache_prune.add_argument(
+        "--unit-results",
+        action="store_true",
+        help="age out per-unit replay results recorded under an older "
+        "result-schema version (current-schema rows are kept)",
+    )
     cache_prune.set_defaults(func=cmd_cache_prune)
 
     cache_clear = cache_sub.add_parser(
@@ -1061,6 +1119,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero unless this entry's own audit-parallel "
         "throughput is at least this multiple of its sequential audit "
         "throughput (needs >1 physical core to exceed 1.0)",
+    )
+    bench.add_argument(
+        "--min-incremental-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero unless this entry's own warm incremental "
+        "re-audit is at least this multiple faster than its cold replay "
+        "(the audit-incremental workload's in-entry ratio)",
     )
     bench.set_defaults(func=cmd_bench)
 

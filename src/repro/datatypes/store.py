@@ -42,6 +42,14 @@ STORE_FILENAME = "classifications.sqlite"
 # when expanding IN (...) lookups.
 _CHUNK = 400
 
+# Result-schema version for per-unit replay results (the incremental
+# re-audit cache).  Bump whenever the *meaning* of a stored payload
+# changes — a new PackedShardResult layout, a pipeline change that
+# alters shard output for identical input bytes.  Rows recorded under
+# an older version are never served and are aged out by
+# ``prune_unit_results`` (``repro cache prune --unit-results``).
+UNIT_RESULT_SCHEMA = 1
+
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS classifications (
     classifier  TEXT NOT NULL,
@@ -58,7 +66,28 @@ CREATE TABLE IF NOT EXISTS runs (
     store_hits  INTEGER NOT NULL,
     misses      INTEGER NOT NULL
 );
+CREATE TABLE IF NOT EXISTS unit_results (
+    digest         TEXT NOT NULL,
+    schema_version INTEGER NOT NULL,
+    epoch          TEXT NOT NULL,
+    service        TEXT NOT NULL,
+    payload        BLOB NOT NULL,
+    PRIMARY KEY (digest, schema_version, epoch)
+) WITHOUT ROWID;
 """
+
+
+def unit_result_epoch(classifier_name: str, confidence_threshold: float) -> str:
+    """The invalidation scope one stored unit result is valid under.
+
+    A unit's digest addresses its *input bytes*; the epoch names the
+    *processing configuration* those bytes were run through — the
+    classifier and the confidence threshold, the two knobs that change
+    shard output for identical input.  Kept out of the digest so a
+    config switch leaves old rows intact (switching back re-hits them)
+    instead of silently orphaning them under unreachable digests.
+    """
+    return f"{classifier_name}@{confidence_threshold:g}"
 
 
 class StoreError(Exception):
@@ -103,10 +132,19 @@ class StoreStats:
     entries: dict[str, int]  # classifier name -> stored verdicts
     run_count: int
     last_run: RunRecord | None
+    # Per-unit replay results under the *current* result schema,
+    # keyed by service; rows recorded under older schema versions are
+    # counted separately (they are prune fodder, never served).
+    unit_results: dict[str, int] = field(default_factory=dict)
+    stale_unit_results: int = 0
 
     @property
     def total_entries(self) -> int:
         return sum(self.entries.values())
+
+    @property
+    def total_unit_results(self) -> int:
+        return sum(self.unit_results.values())
 
 
 def store_path_for(cache_dir: Path | str) -> Path:
@@ -342,6 +380,112 @@ class ClassificationStore:
 
         self._execute(write)
 
+    # -- per-unit replay results (incremental re-audit) ------------------
+
+    def get_unit_results(
+        self, epoch: str, digests: list[str], schema_version: int | None = None
+    ) -> dict[str, bytes]:
+        """Stored unit payloads for the given digests (missing absent).
+
+        Only rows recorded under the current result schema *and* the
+        requested epoch are served — anything else is invisible to
+        lookups (and prunable), never silently wrong.
+        """
+        if schema_version is None:
+            schema_version = UNIT_RESULT_SCHEMA
+
+        def lookup() -> dict[str, bytes]:
+            found: dict[str, bytes] = {}
+            for start in range(0, len(digests), _CHUNK):
+                chunk = digests[start : start + _CHUNK]
+                placeholders = ",".join("?" * len(chunk))
+                rows = self._conn.execute(
+                    f"SELECT digest, payload FROM unit_results "
+                    f"WHERE schema_version = ? AND epoch = ? "
+                    f"AND digest IN ({placeholders})",
+                    [schema_version, epoch, *chunk],
+                )
+                for digest, payload in rows:
+                    found[digest] = payload
+            return found
+
+        return self._execute(lookup)
+
+    def put_unit_results(
+        self,
+        epoch: str,
+        rows: list[tuple[str, str, bytes]],
+        schema_version: int | None = None,
+    ) -> None:
+        """Write ``(digest, service, payload)`` rows through.
+
+        ``OR REPLACE`` rather than ``OR IGNORE``: a digest being
+        rewritten means its previous payload was judged unusable
+        (corrupt-row quarantine), and shard processing is deterministic
+        — racing writers produce equivalent payloads, so last-write-
+        wins is safe.
+        """
+        if not rows:
+            return
+        if schema_version is None:
+            schema_version = UNIT_RESULT_SCHEMA
+        records = [
+            (digest, schema_version, epoch, service, payload)
+            for digest, service, payload in rows
+        ]
+
+        def write() -> None:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO unit_results "
+                "(digest, schema_version, epoch, service, payload) "
+                "VALUES (?, ?, ?, ?, ?)",
+                records,
+            )
+            self._conn.commit()
+
+        self._execute(write)
+
+    def delete_unit_results(self, digests: list[str]) -> int:
+        """Drop specific rows (corrupt-payload quarantine); returns count."""
+        if not digests:
+            return 0
+
+        def delete() -> int:
+            removed = 0
+            for start in range(0, len(digests), _CHUNK):
+                chunk = digests[start : start + _CHUNK]
+                placeholders = ",".join("?" * len(chunk))
+                cursor = self._conn.execute(
+                    f"DELETE FROM unit_results WHERE digest IN ({placeholders})",
+                    chunk,
+                )
+                removed += cursor.rowcount
+            self._conn.commit()
+            return removed
+
+        return self._execute(delete)
+
+    def prune_unit_results(self, schema_version: int | None = None) -> int:
+        """Age out unit results from older result-schema versions.
+
+        Deliberately *not* wall-clock based (determinism contract):
+        staleness here means "recorded under a schema this build will
+        never serve", which is exactly the set lookups skip over.
+        Returns how many rows were removed.
+        """
+        if schema_version is None:
+            schema_version = UNIT_RESULT_SCHEMA
+
+        def delete() -> int:
+            cursor = self._conn.execute(
+                "DELETE FROM unit_results WHERE schema_version != ?",
+                (schema_version,),
+            )
+            self._conn.commit()
+            return cursor.rowcount
+
+        return self._execute(delete)
+
     # -- instrumentation -------------------------------------------------
 
     def record_run(
@@ -374,11 +518,24 @@ class ClassificationStore:
                 "SELECT id, classifier, memory_hits, store_hits, misses "
                 "FROM runs ORDER BY id DESC LIMIT 1"
             ).fetchone()
+            unit_results = dict(
+                self._conn.execute(
+                    "SELECT service, COUNT(*) FROM unit_results "
+                    "WHERE schema_version = ? GROUP BY service ORDER BY service",
+                    (UNIT_RESULT_SCHEMA,),
+                )
+            )
+            stale = self._conn.execute(
+                "SELECT COUNT(*) FROM unit_results WHERE schema_version != ?",
+                (UNIT_RESULT_SCHEMA,),
+            ).fetchone()[0]
             return StoreStats(
                 path=self.path,
                 entries=entries,
                 run_count=run_count,
                 last_run=RunRecord(*last) if last else None,
+                unit_results=unit_results,
+                stale_unit_results=stale,
             )
 
         return self._execute(read)
@@ -440,11 +597,14 @@ class ClassificationStore:
         return self._execute(delete)
 
     def clear(self) -> int:
-        """Delete every entry and the run history; returns entry count."""
+        """Delete every entry, unit result and the run history;
+        returns the classification-entry count (the number the CLI has
+        always reported)."""
 
         def delete() -> int:
             cursor = self._conn.execute("DELETE FROM classifications")
             self._conn.execute("DELETE FROM runs")
+            self._conn.execute("DELETE FROM unit_results")
             self._conn.commit()
             return cursor.rowcount
 

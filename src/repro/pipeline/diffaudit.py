@@ -97,6 +97,12 @@ class DiffAudit:
     # unchanged either way — classification is a pure function of the
     # key — only how often the expensive path runs.
     cache_dir: Path | str | None = None
+    # Per-unit result reuse for replayed corpora (on by default, the
+    # CLI's ``--no-incremental`` turns it off): with ``replay`` and
+    # ``cache_dir`` both set, unchanged trace units merge straight
+    # from the store's unit-result cache and only dirty units pass
+    # through process_shard — byte-identical output, O(delta) work.
+    incremental: bool = True
 
     def engine(self) -> AuditEngine:
         """The shard/process/merge engine this run is configured for.
@@ -118,6 +124,7 @@ class DiffAudit:
             jobs=self.jobs,
             executor=self.executor,
             cache_dir=self.cache_dir,
+            incremental=self.incremental,
         )
 
     def run(self) -> DiffAuditResult:

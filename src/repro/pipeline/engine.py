@@ -58,7 +58,13 @@ from typing import Callable, Iterable, Protocol
 from repro.datatypes.base import Classifier
 from repro.datatypes.cache import CachingClassifier
 from repro.datatypes.extract import extract_from_request
-from repro.datatypes.store import PersistentClassifier, StoreError, store_path_for
+from repro.datatypes.store import (
+    ClassificationStore,
+    PersistentClassifier,
+    StoreError,
+    store_path_for,
+    unit_result_epoch,
+)
 from repro.destinations.blocklists import BlockListCollection
 from repro.destinations.entities import EntityDatabase
 from repro.destinations.party import DestinationLabeler
@@ -75,6 +81,7 @@ from repro.pipeline.replay import (
     merge_manifest_traces,
     read_manifest,
     trace_record,
+    unit_digest,
     write_manifest,
 )
 from repro.services.catalog import ServiceSpec
@@ -538,6 +545,55 @@ def _process_shard_packed(task: ShardTask) -> PackedShardResult:
 
 
 # ----------------------------------------------------------------------
+# Incremental replay (per-unit result cache)
+# ----------------------------------------------------------------------
+
+
+def _decode_unit_payload(payload: bytes, service: str) -> PackedShardResult | None:
+    """A stored unit payload back as a packed result, or ``None``.
+
+    Corrupt-row quarantine: a payload that does not unpickle to a
+    :class:`PackedShardResult` for the right service — truncated blob,
+    bit rot, a hand-edited store — is reported as undecodable; the
+    caller deletes the row and treats the unit as dirty, so the worst
+    a damaged row can cost is one recomputation.
+    """
+    try:
+        packed = pickle.loads(payload)
+    except (
+        # Everything pickle.loads raises on garbage input: framing and
+        # opcode errors, truncation, references to missing classes.
+        pickle.UnpicklingError,
+        AttributeError,
+        EOFError,
+        ImportError,
+        IndexError,
+        TypeError,
+        ValueError,
+    ):
+        return None
+    if not isinstance(packed, PackedShardResult) or packed.service != service:
+        return None
+    return packed
+
+
+def _cached_shard_result(packed: PackedShardResult) -> ShardResult:
+    """Unpack a cached unit result for merging into *this* run.
+
+    The stored payload carries the counters and stage times of the run
+    that produced it; a run that merely loaded it did none of that
+    work, so they are zeroed — ``EngineOutput`` counters and profiles
+    describe only work actually performed.  The merged audit state is
+    untouched (counters never reach the exported report).
+    """
+    result = packed.unpack()
+    result.cache_hits = result.cache_misses = 0
+    result.store_hits = result.store_misses = 0
+    result.stage_times = {}
+    return result
+
+
+# ----------------------------------------------------------------------
 # Size-balanced scheduling
 # ----------------------------------------------------------------------
 
@@ -943,6 +999,11 @@ class EngineOutput:
     cache_misses: int = 0
     store_hits: int = 0
     store_misses: int = 0  # lookups that reached the inner classifier
+    # Incremental replay counters (zero outside incremental mode):
+    # trace units whose shard result was served from the unit-result
+    # cache vs. units that went through process_shard this run.
+    unit_hits: int = 0
+    unit_misses: int = 0
     # Wall-time attribution for this run (the ``engine`` section of a
     # profile document — see repro.pipeline.profile): orchestration
     # stages, IPC payload sizes, and the aggregated per-shard stages.
@@ -974,6 +1035,15 @@ class AuditEngine:
     # shared by all shard workers, so a warm re-audit never calls the
     # inner classifier at all.  None: in-memory caching only.
     cache_dir: Path | str | None = None
+    # Per-unit result reuse for replayed corpora (``--no-incremental``
+    # turns it off): with both ``replay`` and ``cache_dir`` set, each
+    # trace unit is content-addressed (repro.pipeline.replay.
+    # unit_digest) and its shard result persisted in the store's
+    # ``unit_results`` table; re-audits recompute only units whose
+    # bytes (or processing epoch) changed and merge the rest from
+    # cache.  Output is byte-identical either way — merge folds
+    # per-unit results exactly as it folds sub-shards.
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         # Remember which components are the defaults BEFORE resolving
@@ -1101,6 +1171,136 @@ class AuditEngine:
             if self._default_blocklists:
                 task.blocklists = None
 
+    def _unit_result_scope(self) -> tuple[ClassificationStore, str] | None:
+        """The ``(store, epoch)`` unit-result reuse runs under, if any.
+
+        Incremental mode needs a persistent store to keep results in
+        (``cache_dir``) and components the epoch can *name*: the
+        default classifier stack, entity database and blocklists.  A
+        caller-supplied component has no stable fingerprint — results
+        computed under it must never be served to a different one — so
+        custom stacks fall back to full recompute (byte-identical
+        output, just no reuse).  A store that cannot be opened also
+        degrades to full recompute: the cache is a performance
+        artifact, never a prerequisite.
+        """
+        if not self.incremental or self.replay is None or self.cache_dir is None:
+            return None
+        if not (
+            self._default_classifier
+            and self._default_entity_db
+            and self._default_blocklists
+        ):
+            return None
+        classifier = self.classifier
+        if not isinstance(classifier, PersistentClassifier):
+            return None
+        try:
+            store = classifier.store
+        except StoreError as exc:
+            print(
+                f"warning: incremental replay disabled: {exc}", file=sys.stderr
+            )
+            return None
+        return store, unit_result_epoch(
+            classifier.inner.name, self.confidence_threshold
+        )
+
+    def _partition_replay_tasks(
+        self,
+        tasks: list[ShardTask],
+        store: ClassificationStore,
+        epoch: str,
+        timer: StageTimer,
+    ) -> tuple[list[PackedShardResult | None], list[ShardTask], list[str]] | None:
+        """Split replay tasks into cached unit results and dirty tasks.
+
+        Returns ``(slots, dirty_tasks, dirty_digests)`` — ``slots`` has
+        one entry per trace unit in canonical order (service-spec
+        order, then unit order): a cached packed result, or ``None``
+        meaning "take the next dirty task's result".  Every dirty unit
+        becomes its own single-unit :class:`ShardTask` so its result is
+        individually cacheable for the next run.  ``None`` (the whole
+        return) means the store failed mid-partition and the caller
+        should fall back to full recompute.
+        """
+        slots: list[PackedShardResult | None] = []
+        dirty_tasks: list[ShardTask] = []
+        dirty_digests: list[str] = []
+        for task in tasks:
+            units = task.replay_units or ()
+            with timer.stage("digest"):
+                digests = [unit_digest(unit) for unit in units]
+            try:
+                with timer.stage("store_get"):
+                    found = store.get_unit_results(epoch, digests)
+            except StoreError as exc:
+                print(
+                    f"warning: incremental replay disabled: {exc}",
+                    file=sys.stderr,
+                )
+                return None
+            corrupt: list[str] = []
+            for part, (unit, digest) in enumerate(zip(units, digests)):
+                payload = found.get(digest)
+                packed = (
+                    _decode_unit_payload(payload, task.service)
+                    if payload is not None
+                    else None
+                )
+                if payload is not None and packed is None:
+                    corrupt.append(digest)
+                if packed is not None:
+                    slots.append(packed)
+                    continue
+                slots.append(None)
+                dirty_tasks.append(
+                    dataclasses.replace(
+                        task,
+                        replay_units=(unit,),
+                        part=part,
+                        estimated_cost=_replay_unit_cost(unit),
+                    )
+                )
+                dirty_digests.append(digest)
+            if corrupt:
+                try:
+                    store.delete_unit_results(corrupt)
+                except StoreError:
+                    pass  # the rows stay invisible to lookups anyway
+        return slots, dirty_tasks, dirty_digests
+
+    @staticmethod
+    def _persist_unit_results(
+        store: ClassificationStore,
+        epoch: str,
+        digests: list[str],
+        results: list[ShardResult],
+        packed_results: "list[PackedShardResult] | None",
+        timer: StageTimer,
+    ) -> None:
+        """Write freshly computed per-unit results through, best-effort.
+
+        ``packed_results`` reuses the process pool's IPC payloads when
+        available; otherwise results are packed here.  A store failure
+        only costs next run's warm start — the audit already has its
+        results in hand.
+        """
+        with timer.stage("store_put"):
+            if packed_results is None:
+                packed_results = [pack_shard_result(result) for result in results]
+            rows = [
+                (digest, result.service, pickle.dumps(packed))
+                for digest, result, packed in zip(digests, results, packed_results)
+            ]
+            try:
+                store.put_unit_results(epoch, rows)
+            except StoreError as exc:
+                print(
+                    f"warning: could not persist unit results: {exc}",
+                    file=sys.stderr,
+                )
+
     def _thread_task_classifiers(self, tasks: list[ShardTask]) -> None:
         """Give every thread-pool task an isolated classifier stack.
 
@@ -1120,11 +1320,30 @@ class AuditEngine:
 
     def run(self) -> EngineOutput:
         timer = StageTimer()
+        # Engine-side per-shard-stage time (digesting, unit-result
+        # store round-trips) — merged into the shards' stage table.
+        unit_stages = StageTimer()
+        slots: list[PackedShardResult | None] | None = None
+        dirty_digests: list[str] = []
+        unit_store: ClassificationStore | None = None
+        epoch = ""
         with timer.stage("shard_setup"):
             executor = executor_for(
                 self.jobs, self.executor, replay=self.replay is not None
             )
             tasks = self.shard_tasks()
+            scope = self._unit_result_scope()
+            if scope is not None:
+                unit_store, epoch = scope
+                partition = self._partition_replay_tasks(
+                    tasks, unit_store, epoch, unit_stages
+                )
+                if partition is None:
+                    unit_store = None
+                else:
+                    # From here on ``tasks`` is the dirty set only —
+                    # one single-unit task per unit to recompute.
+                    slots, tasks, dirty_digests = partition
             packed = False
             if isinstance(executor, SequentialExecutor):
                 # In-process shards can share one classification
@@ -1135,10 +1354,13 @@ class AuditEngine:
                 for task in tasks:
                     task.classifier = shared
             else:
-                # Size-balance the pool: split cost-skewed services
-                # into sub-shards and let the executor run them
-                # unordered.
-                tasks = split_shard_tasks(tasks, executor.jobs)
+                if slots is None:
+                    # Size-balance the pool: split cost-skewed
+                    # services into sub-shards and let the executor
+                    # run them unordered.  (Incremental dirty tasks
+                    # are already single-unit — nothing to split;
+                    # their costs were stamped for LPT submission.)
+                    tasks = split_shard_tasks(tasks, executor.jobs)
                 if isinstance(executor, ProcessPoolShardExecutor):
                     self._slim_tasks(tasks)
                     packed = True
@@ -1148,6 +1370,7 @@ class AuditEngine:
         with timer.stage("execute"):
             raw_results = executor.map_shards(tasks, work=work)
         task_bytes = result_bytes = 0
+        fresh_packed: list[PackedShardResult] | None = None
         if packed:
             # Results crossed the pool pickled; unpack (and measure
             # the IPC payloads) parent-side.
@@ -1157,13 +1380,39 @@ class AuditEngine:
             result_bytes = sum(
                 len(pickle.dumps(result)) for result in raw_results
             )
+            fresh_packed = raw_results
         else:
             results = raw_results
+        unit_hits = unit_misses = 0
+        if slots is not None:
+            unit_hits = sum(1 for cached in slots if cached is not None)
+            unit_misses = len(results)
+            if unit_store is not None and results:
+                self._persist_unit_results(
+                    unit_store, epoch, dirty_digests, results,
+                    fresh_packed, unit_stages,
+                )
+            # Weave cached and fresh results back into canonical
+            # order (service-spec order, then unit order) — the order
+            # merge requires.  merge folds per-unit results exactly
+            # as it folds sub-shards, so output bytes cannot depend
+            # on what was cached.
+            with timer.stage("unpack"):
+                dirty_iter = iter(results)
+                results = [
+                    _cached_shard_result(cached)
+                    if cached is not None
+                    else next(dirty_iter)
+                    for cached in slots
+                ]
         with timer.stage("merge"):
             merged = self.merge(results)
         stages = StageTimer()
         for result in results:
             stages.merge(result.stage_times)
+        stages.merge(unit_stages.times)
+        merged.unit_hits = unit_hits
+        merged.unit_misses = unit_misses
         merged.profile = {
             "executor": executor.kind,
             "jobs": executor.jobs,
@@ -1176,6 +1425,12 @@ class AuditEngine:
             "result_bytes": result_bytes,
             "stages": stages.as_dict(),
         }
+        if slots is not None:
+            # Extra (schema-optional) keys: only incremental runs
+            # carry them, so profiles keep answering "was unit reuse
+            # active, and how much did it cover?"
+            merged.profile["unit_hits"] = unit_hits
+            merged.profile["unit_misses"] = unit_misses
         # Parallel shards write through the shared store file; the
         # parent process appends the run's merged counters so
         # ``cache stats`` can report per-run hit rates.

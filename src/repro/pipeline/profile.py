@@ -41,11 +41,15 @@ ENGINE_PROFILE_FIELDS = (
 
 # Shard stage names (the ``stages`` table).  A profile only contains
 # the stages that ran — a generated corpus has no ``decode`` time, a
-# run without --cache-dir has no store round-trips.
+# run without --cache-dir has no store round-trips, and only an
+# incremental replay (--from-artifacts with --cache-dir) spends time
+# in ``digest`` (content-addressing trace units; its unit-result
+# store round-trips fold into ``store_get``/``store_put``).
 SHARD_STAGES = (
     "setup",
     "generate",
     "decode",
+    "digest",
     "dataset",
     "extract",
     "classify",

@@ -27,7 +27,10 @@ simply leaves every TLS flow opaque (destination-only accounting).
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
+import mmap
+import os
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -101,6 +104,89 @@ def load_parsed_trace(unit: TraceUnit) -> ParsedTrace:
         raise ReplayError(
             f"cannot replay trace {unit.meta.name!r} from {source}: {exc}"
         ) from exc
+
+
+# ----------------------------------------------------------------------
+# Content addressing
+# ----------------------------------------------------------------------
+
+# Bumped whenever the digest *encoding* changes (not when results
+# change — that is the store's result schema, see
+# repro.datatypes.store.UNIT_RESULT_SCHEMA).
+UNIT_DIGEST_VERSION = 1
+
+_DIGEST_CHUNK = 1 << 20
+
+# Fixed role order for digesting a unit's member files.  The digest
+# must never depend on how the corpus was enumerated, only on what
+# the unit *is*.
+_DIGEST_ROLES = ("har", "pcap", "keylog")
+
+
+def _digest_file(hasher: "hashlib._Hash", path: Path, eager: bool) -> None:
+    """Feed one member file's bytes into ``hasher``.
+
+    The default path memory-maps the file (artifacts can be large and
+    are already mmapped by the decoder, so pages are likely resident);
+    filesystems that refuse to map fall back to chunked reads.  With
+    ``eager=True`` the file is read whole instead — both paths hash
+    exactly the same byte sequence, which the property tests pin.
+    """
+    with open(path, "rb") as handle:
+        if eager:
+            hasher.update(handle.read())
+            return
+        size = os.fstat(handle.fileno()).st_size
+        if size == 0:
+            return
+        try:
+            view = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError):
+            while chunk := handle.read(_DIGEST_CHUNK):
+                hasher.update(chunk)
+            return
+        with view:
+            hasher.update(view)
+
+
+def unit_digest(unit: TraceUnit, *, eager: bool = False) -> str:
+    """The content address of one trace unit (SHA-256 hex digest).
+
+    Hashes the unit's identity (every :class:`TraceMeta` field) and
+    the raw bytes of each member file in fixed role order — har, pcap,
+    keylog — with explicit length framing, so the digest is a pure
+    function of (metadata, file contents):
+
+    * enumeration order of the corpus never enters it;
+    * any single-byte change to any member file changes it;
+    * adding or removing a key log changes it (the framing records
+      which roles are present and how long each is).
+
+    Unreadable files surface as :class:`ReplayError`, the same
+    contract as :func:`load_parsed_trace`.
+    """
+    meta = unit.meta
+    hasher = hashlib.sha256()
+    hasher.update(
+        (
+            f"repro-unit/{UNIT_DIGEST_VERSION}\n"
+            f"{meta.service}\n{meta.platform.value}\n{meta.kind.value}\n"
+            f"{meta.age.value if meta.age else 'none'}\n"
+        ).encode("utf-8")
+    )
+    try:
+        for role in _DIGEST_ROLES:
+            path: Path | None = getattr(unit, role)
+            if path is None:
+                hasher.update(f"{role}:absent\n".encode("utf-8"))
+                continue
+            hasher.update(f"{role}:{path.stat().st_size}\n".encode("utf-8"))
+            _digest_file(hasher, path, eager)
+    except OSError as exc:
+        raise ReplayError(
+            f"cannot digest trace {meta.name!r}: {exc}"
+        ) from exc
+    return hasher.hexdigest()
 
 
 def meta_from_name(name: str) -> TraceMeta:

@@ -129,6 +129,27 @@ class TestRunBench:
         with pytest.raises(BenchError, match="unknown workload"):
             run_bench(tmp_path, workloads=("nonsense",))
 
+    def test_audit_incremental_workload_records_in_entry_ratio(self, tmp_path):
+        """A real (tiny) incremental run: the record must carry the
+        warm-vs-cold ratio, zero dirty units, and a profile sidecar
+        whose engine section shows full unit reuse."""
+        path, document = run_bench(
+            tmp_path, scale=0.002, repeats=1, workloads=("audit-incremental",)
+        )
+        validate_entry(document)
+        record = document["workloads"][0]
+        assert record["workload"] == "audit-incremental"
+        assert record["detail"]["unit_misses"] == 0
+        assert record["detail"]["unit_hits"] == record["detail"]["traces"]
+        assert record["detail"]["cold_wall_time_s"] > record["wall_time_s"]
+        assert document["audit_incremental_vs_cold"] > 1.0
+        profiles = json.loads(
+            (tmp_path / f"{path.stem}.profile.json").read_text()
+        )
+        engine = profiles["audit-incremental"]["engine"]
+        assert engine["unit_misses"] == 0
+        assert engine["unit_hits"] == record["detail"]["traces"]
+
 
 class TestRepoTrajectory:
     def test_checked_in_entries_are_schema_valid(self):
@@ -264,6 +285,23 @@ class TestEvaluateGates:
         )
         assert errors == []
         assert len(warnings) == 1
+
+    def test_incremental_speedup_gate(self):
+        passing = self._document(audit_incremental_vs_cold=3.5)
+        _, errors = evaluate_gates(passing, min_incremental_speedup=1.0)
+        assert errors == []
+        failing = self._document(audit_incremental_vs_cold=0.9)
+        _, errors = evaluate_gates(failing, min_incremental_speedup=1.0)
+        assert len(errors) == 1
+        assert "incremental speedup" in errors[0]
+
+    def test_incremental_speedup_warns_without_the_workload(self):
+        warnings, errors = evaluate_gates(
+            self._document(), min_incremental_speedup=1.0
+        )
+        assert errors == []
+        assert len(warnings) == 1
+        assert "audit-incremental" in warnings[0]
 
 
 class TestProfileSidecar:

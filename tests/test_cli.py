@@ -392,6 +392,42 @@ class TestCacheCommand:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache"])
 
+    def test_stats_reports_unit_results(self, tmp_path, capsys):
+        from repro.datatypes.store import ClassificationStore, store_path_for
+
+        cache = self._warm(tmp_path, capsys)
+        with ClassificationStore(store_path_for(cache)) as store:
+            store.put_unit_results("clf@0.8", [("d1", "youtube", b"p")])
+            store.put_unit_results(
+                "clf@0.8", [("d0", "youtube", b"old")], schema_version=0
+            )
+        assert main(["cache", "stats", "--cache-dir", cache]) == 0
+        output = capsys.readouterr().out
+        assert "unit results: 1" in output
+        assert "youtube: 1" in output
+        assert "stale (older result schema): 1" in output
+        assert "cache prune --unit-results" in output
+
+    def test_prune_unit_results_is_a_criterion_on_its_own(
+        self, tmp_path, capsys
+    ):
+        from repro.datatypes.store import ClassificationStore, store_path_for
+
+        cache = self._warm(tmp_path, capsys)
+        with ClassificationStore(store_path_for(cache)) as store:
+            store.put_unit_results(
+                "clf@0.8", [("d0", "youtube", b"old")], schema_version=0
+            )
+        code = main(["cache", "prune", "--cache-dir", cache, "--unit-results"])
+        assert code == 0
+        assert (
+            "pruned 0 entries and 1 stale unit results"
+            in capsys.readouterr().out
+        )
+        with ClassificationStore(store_path_for(cache)) as store:
+            assert store.stats().stale_unit_results == 0
+            assert store.stats().total_entries == 2  # verdicts untouched
+
     def test_corrupt_store_is_reported_not_quarantined(self, tmp_path, capsys):
         # Inspection commands must never destroy the evidence they were
         # asked to report on: a corrupt store exits 2 and stays on disk.
@@ -427,6 +463,46 @@ class TestCacheCommand:
         assert code == 0
         assert "Contact Information" in captured.out
         assert "disabled for this process" in captured.err
+
+
+class TestIncrementalFlags:
+    BASE = ["--services", "youtube", "--scale", "0.003", "--seed", "7"]
+
+    def test_audit_and_report_accept_no_incremental(self):
+        args = build_parser().parse_args(["audit", "--no-incremental"])
+        assert args.no_incremental is True
+        args = build_parser().parse_args(["report", "fig3", "--no-incremental"])
+        assert args.no_incremental is True
+        args = build_parser().parse_args(["audit"])
+        assert args.no_incremental is False
+
+    def test_audit_verbose_reports_hits_and_dirty_counts(
+        self, tmp_path, capsys
+    ):
+        corpus = str(tmp_path / "corpus")
+        cache = str(tmp_path / "cache")
+        main(["generate", *self.BASE, "--output", corpus])
+        capsys.readouterr()
+        replayed = ["audit", "--from-artifacts", corpus, "--cache-dir", cache,
+                    "--json", "--verbose"]
+        assert main(replayed) == 0
+        cold = capsys.readouterr()
+        assert "0 unit hits" in cold.err
+        assert "dirty units recomputed" in cold.err
+        assert main(replayed) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out  # byte-identical report
+        assert "0 dirty units recomputed" in warm.err
+        assert main([*replayed, "--no-incremental"]) == 0
+        off = capsys.readouterr()
+        assert off.out == cold.out
+        assert "incremental replay: inactive" in off.err
+
+    def test_audit_verbose_without_replay_reports_inactive(self, capsys):
+        assert main(["audit", *self.BASE, "--verbose", "--json"]) == 0
+        err = capsys.readouterr().err
+        assert "incremental replay: inactive" in err
+        assert "--from-artifacts" in err
 
 
 class TestVersionFlag:

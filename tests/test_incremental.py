@@ -1,0 +1,331 @@
+"""Incremental re-audit: content-addressed units, O(delta) recompute.
+
+Three layers of guarantees, each with its own test class:
+
+* the **digest** (:func:`repro.pipeline.replay.unit_digest`) is a pure
+  function of a unit's metadata and member-file bytes — identical
+  across eager and mmap reads, independent of corpus enumeration
+  order, and changed by any single-byte perturbation of any member
+  file (Hypothesis pins these as properties, not examples);
+* **mutation invalidation**: flipping one byte in exactly one unit's
+  artifact makes the warm re-audit recompute exactly that unit
+  (observed via a spy on ``process_shard``) and still produce output
+  byte-identical to a cold run of the mutated corpus; bumping the
+  result schema invalidates everything;
+* the **unit-result store UX**: ``stats`` reports unit results,
+  version-mismatch rows are pruned not served, and a corrupt payload
+  row costs one recomputation and is then replaced.
+"""
+
+import dataclasses
+import shutil
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.datatypes.store as store_module
+import repro.pipeline.engine as engine_module
+from repro import CorpusConfig, DiffAudit
+from repro.datatypes.store import (
+    ClassificationStore,
+    store_path_for,
+    unit_result_epoch,
+)
+from repro.capture.base import TraceMeta
+from repro.model import AgeGroup, Platform, TraceKind
+from repro.pipeline.engine import generate_corpus_artifacts
+from repro.pipeline.replay import (
+    ReplayCorpus,
+    ReplayError,
+    TraceUnit,
+    unit_digest,
+)
+from repro.reporting.export import result_to_json
+
+CONFIG = CorpusConfig(
+    seed=11, scale=0.002, profile="light", services=("tiktok", "youtube")
+)
+
+
+def _meta(service="svc"):
+    return TraceMeta(
+        service=service,
+        platform=Platform.MOBILE,
+        kind=TraceKind.LOGGED_IN,
+        age=AgeGroup.ADULT,
+    )
+
+
+def _mobile_unit(tmp_path, pcap=b"pcap-bytes", keylog=b"keylog-bytes"):
+    pcap_path = tmp_path / "t.pcap"
+    pcap_path.write_bytes(pcap)
+    keylog_path = None
+    if keylog is not None:
+        keylog_path = tmp_path / "t.keylog"
+        keylog_path.write_bytes(keylog)
+    return TraceUnit(meta=_meta(), pcap=pcap_path, keylog=keylog_path)
+
+
+class TestUnitDigestProperties:
+    @given(
+        pcap=st.binary(min_size=0, max_size=64),
+        keylog=st.one_of(st.none(), st.binary(min_size=0, max_size=64)),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_eager_and_mmap_reads_agree(self, tmp_path_factory, pcap, keylog):
+        unit = _mobile_unit(
+            tmp_path_factory.mktemp("digest"), pcap=pcap, keylog=keylog
+        )
+        assert unit_digest(unit) == unit_digest(unit, eager=True)
+
+    @given(
+        pcap=st.binary(min_size=1, max_size=64),
+        data=st.data(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_single_byte_perturbation_changes_digest(
+        self, tmp_path_factory, pcap, data
+    ):
+        tmp = tmp_path_factory.mktemp("digest")
+        unit = _mobile_unit(tmp, pcap=pcap)
+        before = unit_digest(unit)
+        index = data.draw(st.integers(0, len(pcap) - 1))
+        flip = data.draw(st.integers(1, 255))
+        mutated = bytearray(pcap)
+        mutated[index] ^= flip
+        unit.pcap.write_bytes(bytes(mutated))
+        assert unit_digest(unit) != before
+
+    def test_independent_of_construction_and_enumeration_order(self, tmp_path):
+        generate_corpus_artifacts(CONFIG, tmp_path)
+        corpus = ReplayCorpus.scan(tmp_path)
+        forward = {u.meta.name: unit_digest(u) for u in corpus.units}
+        # A fresh scan and reversed enumeration must address every
+        # unit identically: only (metadata, bytes) enter the digest.
+        rescanned = ReplayCorpus.scan(tmp_path)
+        backward = {
+            u.meta.name: unit_digest(u) for u in reversed(rescanned.units)
+        }
+        assert forward == backward
+        assert len(set(forward.values())) == len(forward)  # all distinct
+
+    def test_keylog_presence_is_part_of_the_address(self, tmp_path):
+        with_keylog = _mobile_unit(tmp_path, keylog=b"")
+        bare = TraceUnit(meta=_meta(), pcap=with_keylog.pcap)
+        # Framing records which roles are present: an *empty* keylog
+        # still addresses differently from an absent one.
+        assert unit_digest(with_keylog) != unit_digest(bare)
+
+    def test_metadata_is_part_of_the_address(self, tmp_path):
+        unit = _mobile_unit(tmp_path)
+        renamed = dataclasses.replace(unit, meta=_meta(service="other"))
+        assert unit_digest(unit) != unit_digest(renamed)
+
+    def test_bytes_cannot_shift_between_member_files(self, tmp_path):
+        # Length framing: moving a trailing pcap byte onto the front
+        # of the keylog keeps the concatenated byte stream identical
+        # but must change the address.
+        a = _mobile_unit(tmp_path, pcap=b"ABCX", keylog=b"YZ")
+        b_dir = tmp_path / "b"
+        b_dir.mkdir()
+        b = _mobile_unit(b_dir, pcap=b"ABC", keylog=b"XYZ")
+        assert unit_digest(a) != unit_digest(b)
+
+    def test_unreadable_member_file_raises_replay_error(self, tmp_path):
+        unit = _mobile_unit(tmp_path)
+        unit.pcap.unlink()
+        with pytest.raises(ReplayError, match="cannot digest"):
+            unit_digest(unit)
+
+
+@pytest.fixture(scope="module")
+def pristine_corpus(tmp_path_factory) -> Path:
+    """One generated corpus, treated as read-only; tests copy it."""
+    directory = tmp_path_factory.mktemp("incremental-corpus")
+    generate_corpus_artifacts(CONFIG, directory)
+    return directory
+
+
+class _ShardSpy:
+    """Counts process_shard invocations and the units they carried."""
+
+    def __init__(self, monkeypatch):
+        self.calls = 0
+        self.units: list[str] = []
+        real = engine_module.process_shard
+
+        def spy(task):
+            self.calls += 1
+            self.units.extend(u.meta.name for u in task.replay_units or ())
+            return real(task)
+
+        monkeypatch.setattr(engine_module, "process_shard", spy)
+
+
+def _audit(corpus: Path, cache: Path, **kwargs) -> tuple[str, dict]:
+    result, profile = DiffAudit(
+        CONFIG, replay=corpus, cache_dir=cache, **kwargs
+    ).run_profiled()
+    return result_to_json(result), profile["engine"]
+
+
+class TestMutationInvalidation:
+    def _mutable_copy(self, pristine: Path, tmp_path: Path) -> Path:
+        corpus = tmp_path / "corpus"
+        shutil.copytree(pristine, corpus)
+        return corpus
+
+    def test_unchanged_corpus_recomputes_nothing(
+        self, pristine_corpus, tmp_path, monkeypatch
+    ):
+        cache = tmp_path / "cache"
+        cold_json, cold_engine = _audit(pristine_corpus, cache)
+        total = cold_engine["unit_misses"]
+        assert total > 0 and cold_engine["unit_hits"] == 0
+        spy = _ShardSpy(monkeypatch)
+        warm_json, warm_engine = _audit(pristine_corpus, cache)
+        assert spy.calls == 0
+        assert warm_engine["unit_hits"] == total
+        assert warm_engine["unit_misses"] == 0
+        assert warm_json == cold_json
+
+    @pytest.mark.parametrize("role", ["pcap", "keylog", "har"])
+    def test_one_byte_mutation_recomputes_exactly_that_unit(
+        self, pristine_corpus, tmp_path, monkeypatch, role
+    ):
+        corpus = self._mutable_copy(pristine_corpus, tmp_path)
+        cache = tmp_path / "cache"
+        _audit(corpus, cache)
+
+        scanned = ReplayCorpus.scan(corpus)
+        unit = next(u for u in scanned.units if getattr(u, role) is not None)
+        before = unit_digest(unit)
+        path = getattr(unit, role)
+        if role == "pcap":
+            # Flip a timestamp byte in the first record header: the
+            # decoder accepts any timestamp, so the mutated corpus
+            # still replays cleanly.
+            raw = bytearray(path.read_bytes())
+            raw[24] ^= 0xFF
+            path.write_bytes(bytes(raw))
+        elif role == "keylog":
+            path.write_bytes(path.read_bytes() + b"# mutated\n")
+        else:
+            path.write_bytes(path.read_bytes() + b"\n")
+        assert unit_digest(unit) != before
+
+        spy = _ShardSpy(monkeypatch)
+        delta_json, delta_engine = _audit(corpus, cache)
+        assert spy.units == [unit.meta.name]
+        assert delta_engine["unit_misses"] == 1
+        assert delta_engine["unit_hits"] == len(scanned.units) - 1
+        # The merged report equals a from-scratch audit of the
+        # mutated corpus — cached neighbors plus one recompute.
+        fresh = result_to_json(DiffAudit(CONFIG, replay=corpus).run())
+        assert delta_json == fresh
+
+    def test_schema_bump_invalidates_every_unit(
+        self, pristine_corpus, tmp_path, monkeypatch
+    ):
+        cache = tmp_path / "cache"
+        cold_json, cold_engine = _audit(pristine_corpus, cache)
+        total = cold_engine["unit_misses"]
+        monkeypatch.setattr(store_module, "UNIT_RESULT_SCHEMA", 2)
+        spy = _ShardSpy(monkeypatch)
+        bumped_json, bumped_engine = _audit(pristine_corpus, cache)
+        assert spy.calls == total  # one single-unit task per unit
+        assert bumped_engine["unit_misses"] == total
+        assert bumped_engine["unit_hits"] == 0
+        assert bumped_json == cold_json
+        # The old rows are now stale: invisible to lookups, counted
+        # for (and removed by) prune.
+        with ClassificationStore(store_path_for(cache)) as store:
+            assert store.stats().stale_unit_results == total
+            assert store.prune_unit_results() == total
+            assert store.stats().stale_unit_results == 0
+            assert store.stats().total_unit_results == total
+
+    def test_no_incremental_bypasses_the_unit_cache(
+        self, pristine_corpus, tmp_path, monkeypatch
+    ):
+        cache = tmp_path / "cache"
+        cold_json, _ = _audit(pristine_corpus, cache)
+        spy = _ShardSpy(monkeypatch)
+        off_json, off_engine = _audit(pristine_corpus, cache, incremental=False)
+        assert spy.calls > 0
+        assert "unit_hits" not in off_engine  # reuse never activated
+        assert off_json == cold_json
+
+
+class TestUnitResultStoreUX:
+    EPOCH = unit_result_epoch("clf", 0.8)
+
+    def test_stats_report_unit_results_per_service(
+        self, pristine_corpus, tmp_path
+    ):
+        cache = tmp_path / "cache"
+        _, engine = _audit(pristine_corpus, cache)
+        with ClassificationStore(store_path_for(cache)) as store:
+            stats = store.stats()
+        assert stats.total_unit_results == engine["unit_misses"]
+        assert set(stats.unit_results) == {"tiktok", "youtube"}
+        assert all(count > 0 for count in stats.unit_results.values())
+        assert stats.stale_unit_results == 0
+
+    def test_version_mismatch_rows_never_served_and_pruned(self, tmp_path):
+        with ClassificationStore(tmp_path / "s.sqlite") as store:
+            store.put_unit_results(
+                self.EPOCH, [("d1", "svc", b"old")], schema_version=0
+            )
+            store.put_unit_results(self.EPOCH, [("d2", "svc", b"new")])
+            assert store.get_unit_results(self.EPOCH, ["d1", "d2"]) == {
+                "d2": b"new"
+            }
+            stats = store.stats()
+            assert stats.unit_results == {"svc": 1}
+            assert stats.stale_unit_results == 1
+            assert store.prune_unit_results() == 1
+            assert store.stats().stale_unit_results == 0
+            assert store.get_unit_results(self.EPOCH, ["d2"]) == {"d2": b"new"}
+
+    def test_epoch_scopes_lookups(self, tmp_path):
+        with ClassificationStore(tmp_path / "s.sqlite") as store:
+            store.put_unit_results(self.EPOCH, [("d", "svc", b"a")])
+            other = unit_result_epoch("clf", 0.5)
+            assert store.get_unit_results(other, ["d"]) == {}
+            assert store.get_unit_results(self.EPOCH, ["d"]) == {"d": b"a"}
+
+    def test_clear_also_drops_unit_results(self, tmp_path):
+        with ClassificationStore(tmp_path / "s.sqlite") as store:
+            store.put_unit_results(self.EPOCH, [("d", "svc", b"a")])
+            store.clear()
+            assert store.stats().total_unit_results == 0
+
+    def test_corrupt_row_costs_one_recompute_and_is_replaced(
+        self, pristine_corpus, tmp_path, monkeypatch
+    ):
+        cache = tmp_path / "cache"
+        cold_json, cold_engine = _audit(pristine_corpus, cache)
+        total = cold_engine["unit_misses"]
+        corpus = ReplayCorpus.scan(pristine_corpus)
+        victim = corpus.units[0]
+        digest = unit_digest(victim)
+        epoch = unit_result_epoch("gpt4-majority-avg", 0.8)
+        with ClassificationStore(store_path_for(cache)) as store:
+            store.put_unit_results(
+                epoch, [(digest, victim.meta.service, b"not a pickle")]
+            )
+        spy = _ShardSpy(monkeypatch)
+        warm_json, warm_engine = _audit(pristine_corpus, cache)
+        assert spy.units == [victim.meta.name]
+        assert warm_engine["unit_misses"] == 1
+        assert warm_engine["unit_hits"] == total - 1
+        assert warm_json == cold_json
+        # The quarantined row was replaced with a servable payload:
+        # the next run is fully warm again.
+        spy2 = _ShardSpy(monkeypatch)
+        again_json, again_engine = _audit(pristine_corpus, cache)
+        assert spy2.calls == 0
+        assert again_engine["unit_hits"] == total
+        assert again_json == cold_json

@@ -124,3 +124,69 @@ class TestEngineParityOnGoldenCorpus:
         in_memory = result_to_json(DiffAudit(GOLDEN_CONFIG).run())
         assert sequential == in_memory
         assert parallel == in_memory
+
+
+class TestIncrementalParityOnGoldenCorpus:
+    """Cold == fully-warm == delta, byte for byte, on the pinned corpus.
+
+    The golden corpus is module-scoped and read-only; every test keeps
+    its unit-result cache in its own ``tmp_path`` and the growth test
+    generates a corpus of its own.
+    """
+
+    def _run(self, corpus, cache, config=GOLDEN_CONFIG, **kwargs):
+        result, profile = DiffAudit(
+            config, replay=corpus, cache_dir=cache, **kwargs
+        ).run_profiled()
+        return result_to_json(result), profile["engine"]
+
+    def test_cold_and_warm_match_in_memory_across_executors(
+        self, golden_corpus, tmp_path
+    ):
+        baseline = result_to_json(DiffAudit(GOLDEN_CONFIG).run())
+        cache = tmp_path / "cache"
+        cold, cold_engine = self._run(golden_corpus, cache)
+        assert cold == baseline
+        assert cold_engine["unit_hits"] == 0
+        total = cold_engine["unit_misses"]
+        assert total > 0
+        # Fully-warm re-audits: every jobs/executor combination must
+        # reuse every unit and still serialize to the same bytes.
+        for kwargs in (
+            {"jobs": 1},
+            {"jobs": 2, "executor": "thread"},
+            {"jobs": 2, "executor": "process"},
+        ):
+            warm, engine = self._run(golden_corpus, cache, **kwargs)
+            assert warm == baseline, f"warm run diverged for {kwargs}"
+            assert engine["unit_hits"] == total, f"partial reuse for {kwargs}"
+            assert engine["unit_misses"] == 0, f"recompute under {kwargs}"
+
+    def test_delta_run_recomputes_only_grown_units(self, tmp_path):
+        """Grow the corpus by one service; only its units recompute."""
+        corpus = tmp_path / "corpus"
+        cache = tmp_path / "cache"
+        tiktok_only = CorpusConfig(
+            seed=11, scale=0.002, profile="light", services=("tiktok",)
+        )
+        generate_corpus_artifacts(tiktok_only, corpus)
+        first, first_engine = self._run(
+            corpus, cache, config=tiktok_only, jobs=2, executor="process"
+        )
+        del first
+
+        generate_corpus_artifacts(
+            CorpusConfig(
+                seed=11, scale=0.002, profile="light", services=("youtube",)
+            ),
+            corpus,
+        )
+        grown = ReplayCorpus.scan(corpus)
+        new_units = len(grown.units_for("youtube"))
+        assert new_units > 0
+        delta, delta_engine = self._run(corpus, cache)
+        assert delta_engine["unit_hits"] == first_engine["unit_misses"]
+        assert delta_engine["unit_misses"] == new_units
+        # Byte parity with a from-scratch audit of the grown corpus.
+        fresh = result_to_json(DiffAudit(GOLDEN_CONFIG, replay=corpus).run())
+        assert delta == fresh
