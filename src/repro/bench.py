@@ -53,6 +53,7 @@ from pathlib import Path
 
 from repro import CorpusConfig, DiffAudit
 from repro.capture.decrypt import decrypt_mobile_artifact
+from repro.fsutil import atomic_write_text
 from repro.capture.pcapdroid import PcapdroidCapture
 from repro.model import Platform
 from repro.pipeline.profile import validate_profile
@@ -528,14 +529,13 @@ def run_bench(
     validate_entry(document)
     root.mkdir(parents=True, exist_ok=True)
     path = root / f"BENCH_{index}.json"
-    path.write_text(json.dumps(document, indent=1) + "\n", encoding="utf-8")
+    atomic_write_text(path, json.dumps(document, indent=1) + "\n")
     if profiles:
         for stage_profile in profiles.values():
             validate_profile(stage_profile)
         profile_path = root / f"BENCH_{index}.profile.json"
-        profile_path.write_text(
-            json.dumps(profiles, indent=1, sort_keys=True) + "\n",
-            encoding="utf-8",
+        atomic_write_text(
+            profile_path, json.dumps(profiles, indent=1, sort_keys=True) + "\n"
         )
     return path, document
 

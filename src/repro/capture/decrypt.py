@@ -98,8 +98,9 @@ def _decrypt_packets(
         packet_count += 1
         try:
             segment = parse_tcp_segment(data, timestamp=timestamp)
+        # repro-lint: disable=X-SWALLOW — non-TCP noise is skipped by design, as Wireshark display filters would
         except PacketError:
-            continue  # non-TCP noise is skipped, as Wireshark filters would
+            continue
         reassembler.add_segment(segment)
         key = "%s:%d->%s:%d" % segment.flow_key
         frame_counts[key] = frame_counts.get(key, 0) + 1

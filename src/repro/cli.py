@@ -32,6 +32,8 @@ from pathlib import Path
 
 from repro import CorpusConfig, DiffAudit
 from repro.datatypes.store import StoreError
+from repro.faults import FAULT_PROFILES, FaultPlan
+from repro.fsutil import atomic_write_text
 from repro.lint.cli import add_lint_arguments
 from repro.lint.cli import run_from_args as _run_lint_args
 from repro.pipeline.engine import EXECUTOR_KINDS
@@ -140,6 +142,74 @@ def _add_replay_argument(parser: argparse.ArgumentParser) -> None:
         "result reuse and recompute every trace unit (results are "
         "byte-identical either way; this only trades time)",
     )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted run: requires --from-artifacts and "
+        "--cache-dir, and reuses every per-unit result the killed run "
+        "already flushed to the store (results are byte-identical to a "
+        "cold run; prints how many units were reused)",
+    )
+
+
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--inject-faults",
+        metavar="PROFILE",
+        choices=sorted(FAULT_PROFILES),
+        default=None,
+        help="seeded fault-injection profile exercising the recovery "
+        "machinery: " + ", ".join(sorted(FAULT_PROFILES)) + ". Faults "
+        "are deterministic in (--fault-seed, profile); kill/stall/store "
+        "faults never change output bytes, data faults (corrupt-unit, "
+        "chaos) need --keep-going",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for the --inject-faults plan (default 0)",
+    )
+    strictness = parser.add_mutually_exclusive_group()
+    strictness.add_argument(
+        "--strict",
+        action="store_true",
+        default=True,
+        help="fail fast on the first undecodable or worker-killing trace "
+        "unit, naming its path and digest (this is the default)",
+    )
+    strictness.add_argument(
+        "--keep-going",
+        dest="strict",
+        action="store_false",
+        help="quarantine failing trace units instead of aborting: the run "
+        "completes, the report gains a `degraded` section naming each "
+        "quarantined unit, and the exit code is 3",
+    )
+
+
+def _fault_plan(args) -> FaultPlan | None:
+    if not getattr(args, "inject_faults", None):
+        return None
+    return FaultPlan(profile=args.inject_faults, seed=args.fault_seed)
+
+
+def _resume_usage_error(args) -> str | None:
+    if not getattr(args, "resume", False):
+        return None
+    if not args.from_artifacts or not args.cache_dir:
+        return (
+            "error: --resume requires --from-artifacts DIR and --cache-dir "
+            "DIR (resume reuses the per-unit results the interrupted run "
+            "flushed into the store)"
+        )
+    if args.no_incremental:
+        return (
+            "error: --resume and --no-incremental conflict (resume IS "
+            "per-unit result reuse)"
+        )
+    return None
 
 
 def _config(args, corpus: ReplayCorpus | None = None) -> CorpusConfig:
@@ -233,7 +303,7 @@ def _output_usage_error(args) -> str | None:
 
 
 def cmd_audit(args) -> int:
-    error = _output_usage_error(args)
+    error = _resume_usage_error(args) or _output_usage_error(args)
     if error is None and args.with_provenance and not (
         args.from_artifacts and args.json
     ):
@@ -250,6 +320,8 @@ def cmd_audit(args) -> int:
             executor=args.executor,
             cache_dir=args.cache_dir,
             incremental=not args.no_incremental,
+            keep_going=not args.strict,
+            faults=_fault_plan(args),
         ).run_profiled()
     except (ReplayError, StoreError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -259,14 +331,22 @@ def cmd_audit(args) -> int:
 
         write_profile(args.profile_out, profile)
         print(f"wrote profile to {args.profile_out}", file=sys.stderr)
-    if args.verbose:
+    if args.verbose or args.resume:
         engine_profile = profile.get("engine", {})
         if "unit_hits" in engine_profile:
-            print(
-                f"incremental replay: {engine_profile['unit_hits']} unit hits, "
-                f"{engine_profile['unit_misses']} dirty units recomputed",
-                file=sys.stderr,
-            )
+            if args.resume:
+                print(
+                    f"resumed: {engine_profile['unit_hits']} unit results "
+                    f"reused, {engine_profile['unit_misses']} recomputed",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    f"incremental replay: {engine_profile['unit_hits']} unit "
+                    f"hits, {engine_profile['unit_misses']} dirty units "
+                    "recomputed",
+                    file=sys.stderr,
+                )
         else:
             print(
                 "incremental replay: inactive (requires --from-artifacts "
@@ -274,8 +354,22 @@ def cmd_audit(args) -> int:
                 file=sys.stderr,
             )
     provenance = corpus.provenance() if args.with_provenance else None
-    return _emit_result(result, json_flag=args.json, output=args.output,
-                        provenance=provenance)
+    status = _emit_result(result, json_flag=args.json, output=args.output,
+                          provenance=provenance)
+    return _degraded_status(result) if status == 0 else status
+
+
+def _degraded_status(result) -> int:
+    """Exit 3 ("completed with degraded units") when any unit was
+    quarantined under --keep-going; 0 on a fully clean run."""
+    if not result.degraded:
+        return 0
+    print(
+        f"warning: completed with {len(result.degraded)} degraded unit(s); "
+        "see the report's `degraded` section",
+        file=sys.stderr,
+    )
+    return 3
 
 
 def _emit_result(result, json_flag: bool, output: str | None, provenance=None) -> int:
@@ -362,8 +456,10 @@ def cmd_stream(args) -> int:
         summary = snapshot_summary(output)
         if snapshot_dir is not None:
             name = "snapshot_final.json" if final else f"snapshot_{index:05d}.json"
-            (snapshot_dir / name).write_text(
-                json_module.dumps(summary, indent=1) + "\n"
+            # Atomic so a kill mid-write (the exact moment snapshots
+            # exist for) never leaves a truncated JSON file behind.
+            atomic_write_text(
+                snapshot_dir / name, json_module.dumps(summary, indent=1) + "\n"
             )
         print(
             f"snapshot {index}: {summary['traces']} traces, "
@@ -523,6 +619,10 @@ def cmd_generate(args) -> int:
 
 
 def cmd_report(args) -> int:
+    error = _resume_usage_error(args)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
     try:
         corpus = _scan_replay_corpus(args)
         result = DiffAudit(
@@ -532,6 +632,8 @@ def cmd_report(args) -> int:
             executor=args.executor,
             cache_dir=args.cache_dir,
             incremental=not args.no_incremental,
+            keep_going=not args.strict,
+            faults=_fault_plan(args),
         ).run()
     except (ReplayError, StoreError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -584,7 +686,7 @@ def cmd_report(args) -> int:
         "ci": render_ci,
     }
     print(renderers[args.artifact]())
-    return 0
+    return _degraded_status(result)
 
 
 def cmd_distill(args) -> int:
@@ -813,6 +915,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_corpus_arguments(audit)
     _add_replay_argument(audit)
     _add_cache_argument(audit)
+    _add_fault_arguments(audit)
     audit.add_argument("--json", action="store_true", help="emit a JSON summary")
     audit.add_argument(
         "--output",
@@ -974,6 +1077,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_corpus_arguments(report)
     _add_replay_argument(report)
     _add_cache_argument(report)
+    _add_fault_arguments(report)
     report.add_argument(
         "artifact",
         choices=(

@@ -303,8 +303,9 @@ class ClassificationStore:
         corrupt = self.path.with_suffix(self.path.suffix + ".corrupt")
         try:
             os.replace(self.path, corrupt)
+        # repro-lint: disable=X-SWALLOW — a racing process already quarantined the file; the recovery goal is met either way
         except FileNotFoundError:
-            pass  # a racing process already quarantined it
+            pass
         except OSError as exc:  # unreadable *and* unmovable: give up
             raise StoreError(
                 f"classification store {self.path} is corrupt and could "
@@ -642,6 +643,11 @@ class PersistentClassifier:
     # layer reports these as the ``store_get``/``store_put`` stages).
     store_get_s: float = 0.0
     store_put_s: float = 0.0
+    # Optional fault-injection plan (repro.faults.FaultPlan): when it
+    # injects store faults, the opened store is wrapped in a FlakyStore
+    # proxy that raises deterministic transient StoreErrors.  Pickles
+    # with the classifier so pool workers inject the same schedule.
+    faults: object | None = None
     _store: ClassificationStore | None = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -654,19 +660,29 @@ class PersistentClassifier:
 
     @classmethod
     def wrap(
-        cls, classifier: Classifier, path: Path | str
+        cls,
+        classifier: Classifier,
+        path: Path | str,
+        faults: object | None = None,
     ) -> "PersistentClassifier":
         """Layer persistence under ``classifier``, idempotently."""
-        if isinstance(classifier, cls) and classifier.path == Path(path):
+        if (
+            isinstance(classifier, cls)
+            and classifier.path == Path(path)
+            and classifier.faults == faults
+        ):
             return classifier
-        return cls(classifier, Path(path))
+        return cls(classifier, Path(path), faults=faults)
 
     @property
     def store(self) -> ClassificationStore:
         """The open store, (re)opened per process — connections must
         never cross a fork/pickle boundary."""
         if self._store is None or self._store_pid != os.getpid():
-            self._store = ClassificationStore(self.path)
+            store: ClassificationStore = ClassificationStore(self.path)
+            if self.faults is not None:
+                store = self.faults.wrap_store(store)
+            self._store = store
             self._store_pid = os.getpid()
         return self._store
 

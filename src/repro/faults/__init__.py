@@ -1,0 +1,22 @@
+"""Seeded fault injection for chaos testing the audit pipeline.
+
+See :mod:`repro.faults.plan` for the model.  The public surface is
+:class:`FaultPlan` (a frozen, deterministic fault schedule),
+:data:`FAULT_PROFILES` (the ``--inject-faults`` choices),
+:class:`FlakyStore` (store-call fault proxy) and
+:func:`corrupt_artifact` (on-disk damage helper for tests/CI).
+"""
+
+from repro.faults.plan import (
+    FAULT_PROFILES,
+    FaultPlan,
+    FlakyStore,
+    corrupt_artifact,
+)
+
+__all__ = [
+    "FAULT_PROFILES",
+    "FaultPlan",
+    "FlakyStore",
+    "corrupt_artifact",
+]

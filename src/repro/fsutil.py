@@ -1,0 +1,63 @@
+"""Crash-safe filesystem helpers.
+
+Every artifact the pipeline writes that a *later* run reads back —
+``manifest.json``, bench entries and their profile sidecars, stream
+snapshots, the lint baseline — goes through :func:`atomic_write_text`:
+the bytes land in a temporary file in the destination directory, are
+fsynced, and are renamed over the target in one atomic step.  A SIGKILL
+(or power loss) at any point leaves either the old file or the new one,
+never a torn half-write that poisons the next run.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_text(
+    path: Path | str, text: str, encoding: str = "utf-8"
+) -> Path:
+    """Write ``text`` to ``path`` atomically (temp + fsync + rename).
+
+    The temporary file is created in ``path``'s own directory so the
+    final ``os.replace`` stays within one filesystem and is atomic.
+    On any failure the temporary file is removed; the destination is
+    only ever touched by the rename.
+    """
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_bytes(path: Path | str, data: bytes) -> Path:
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    # repro-lint: disable=X-BARE-EXCEPT — cleanup-and-reraise: even KeyboardInterrupt must not leave a stray .tmp file behind
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        # repro-lint: disable=X-SWALLOW — best-effort temp cleanup on the error path; the original exception re-raises below
+        except OSError:
+            pass
+        raise
+    # Make the rename itself durable: without a directory fsync a
+    # crash can forget the new directory entry even though the data
+    # blocks were synced.  Best-effort — some filesystems refuse
+    # directory fds.
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:
+        return path
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+    return path

@@ -31,6 +31,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import ClassVar, Iterable, Iterator, Sequence
 
+from repro.fsutil import atomic_write_text
+
 BASELINE_VERSION = 1
 
 #: Rules report at one of these severities; every severity fails the
@@ -287,7 +289,7 @@ def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
             for f in sorted(findings, key=Finding.sort_key)
         ],
     }
-    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    atomic_write_text(path, json.dumps(document, indent=2) + "\n")
 
 
 # ----------------------------------------------------------------------

@@ -208,6 +208,48 @@ class BroadExceptRule(AstRule):
                     )
 
 
+class SwallowedExceptionRule(AstRule):
+    """X-SWALLOW: except handlers whose whole body is pass/continue.
+
+    A handler that only passes (or continues) makes a failure
+    invisible: no degraded record, no log line, no counter.  The
+    fault-tolerance machinery depends on every error either
+    propagating or being *recorded* — decode failures become
+    DegradedUnit entries, store failures disable the store loudly.
+    Where discarding really is correct (quarantining an already-
+    corrupt file, probing optional modules), say why in a suppression.
+    """
+
+    rule_id = "X-SWALLOW"
+    severity = "error"
+    summary = (
+        "except handler swallows the exception — its entire body is "
+        "pass/continue, so the failure leaves no trace anywhere"
+    )
+    hint = (
+        "record the failure (degraded list, warning, counter) or "
+        "suppress with a comment saying why discarding is safe"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if all(
+                isinstance(stmt, (ast.Pass, ast.Continue))
+                for stmt in node.body
+            ):
+                caught = (
+                    dotted_name(node.type) if node.type is not None else None
+                ) or "exception"
+                yield self.finding(
+                    module.rel,
+                    node.lineno,
+                    node.col_offset + 1,
+                    f"handler swallows {caught} without recording it",
+                )
+
+
 def _dataclass_decorator(node: ast.ClassDef) -> ast.expr | ast.Call | None:
     for decorator in node.decorator_list:
         target = decorator.func if isinstance(decorator, ast.Call) else decorator
@@ -338,6 +380,7 @@ ALL = (
     GlobalMutationRule(),
     LruCacheMethodRule(),
     BroadExceptRule(),
+    SwallowedExceptionRule(),
     PoolDataclassSlotsRule(),
     PackedResultCoverageRule(),
 )

@@ -106,6 +106,7 @@ def _check_module_ref(ref: str) -> bool:
         module_name = ".".join(parts[:split])
         try:
             module = importlib.import_module(module_name)
+        # repro-lint: disable=X-SWALLOW — probing successively shorter module prefixes; a miss just tries the next split
         except ImportError:
             continue
         obj = module
@@ -272,21 +273,22 @@ class CliReferenceRule(ProjectRule):
 
 
 class NamedProfileRule(ProjectRule):
-    """S-PROFILE-DOC: every named load/impairment profile is documented.
+    """S-PROFILE-DOC: every named load/impairment/fault profile is documented.
 
-    ``--impair`` and ``--profile`` take closed sets of names; a
-    profile added to the code without a line in ``docs/cli.md`` would
-    be invisible to users reading the reference.
+    ``--impair``, ``--profile`` and ``--inject-faults`` take closed
+    sets of names; a profile added to the code without a line in
+    ``docs/cli.md`` would be invisible to users reading the reference.
     """
 
     rule_id = "S-PROFILE-DOC"
     severity = "error"
     summary = (
-        "a named load/impairment profile is missing from docs/cli.md"
+        "a named load/impairment/fault profile is missing from docs/cli.md"
     )
     hint = "mention the profile name as an inline-code token in docs/cli.md"
 
     def check(self, project: Project) -> Iterator[Finding]:
+        from repro.faults import FAULT_PROFILES
         from repro.services.generator import LOAD_PROFILES
         from repro.stream.impair import IMPAIRMENT_PROFILES
 
@@ -306,6 +308,11 @@ class NamedProfileRule(ProjectRule):
             if name not in documented:
                 yield self.finding(
                     rel, 1, 1, f"load profile `{name}` is not documented"
+                )
+        for name in FAULT_PROFILES:
+            if name not in documented:
+                yield self.finding(
+                    rel, 1, 1, f"fault profile `{name}` is not documented"
                 )
 
 

@@ -191,10 +191,8 @@ class PcapReader:
         if self._mmap is not None:
             try:
                 self._mmap.close()
+            # repro-lint: disable=X-SWALLOW — record views still alive (e.g. in an in-flight traceback) pin the mapping; it is reclaimed when they are collected
             except BufferError:
-                # Record views are still alive (e.g. held by an
-                # in-flight traceback after a truncated-record error);
-                # the mapping is reclaimed when they are collected.
                 pass
             self._mmap = None
         if self._file is not None:

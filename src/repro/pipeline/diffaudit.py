@@ -62,6 +62,10 @@ class DiffAuditResult:
     common_linkable_count: int
     classified_keys: int
     unique_data_types: int
+    # Units quarantined under --keep-going, sorted (service, unit) for
+    # stable reporting.  Empty on clean runs and in strict mode; the
+    # CLI exits 3 when non-empty ("completed with degraded units").
+    degraded: list = field(default_factory=list)
 
     def audit_for(self, service: str) -> ServiceAuditReport:
         return self.audits[service]
@@ -103,6 +107,14 @@ class DiffAudit:
     # from the store's unit-result cache and only dirty units pass
     # through process_shard — byte-identical output, O(delta) work.
     incremental: bool = True
+    # Graceful degradation (``--keep-going``): quarantine units that
+    # fail decode or crash workers instead of aborting; the result's
+    # ``degraded`` list records them.  False = fail fast
+    # (``--strict``, the default).
+    keep_going: bool = False
+    # Seeded fault-injection plan (``--inject-faults``); None in
+    # normal operation.  See repro.faults.
+    faults: object | None = None
 
     def engine(self) -> AuditEngine:
         """The shard/process/merge engine this run is configured for.
@@ -125,6 +137,8 @@ class DiffAudit:
             executor=self.executor,
             cache_dir=self.cache_dir,
             incremental=self.incremental,
+            keep_going=self.keep_going,
+            faults=self.faults,
         )
 
     def run(self) -> DiffAuditResult:
@@ -205,4 +219,7 @@ def assemble_result(
         common_linkable_count=common_count,
         classified_keys=merged.classified_keys,
         unique_data_types=len(merged.raw_keys),
+        degraded=sorted(
+            merged.degraded, key=lambda d: (d.service, d.unit, d.stage)
+        ),
     )

@@ -46,10 +46,14 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import multiprocessing
+import os
 import pickle
 import signal
 import sys
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
@@ -68,6 +72,7 @@ from repro.datatypes.store import (
 from repro.destinations.blocklists import BlockListCollection
 from repro.destinations.entities import EntityDatabase
 from repro.destinations.party import DestinationLabeler
+from repro.faults.plan import FaultPlan
 from repro.flows.builder import FlowBuilder
 from repro.flows.dataflow import FlowObservation, FlowTable
 from repro.pipeline.corpus import CorpusProcessor, ParsedTrace
@@ -80,8 +85,10 @@ from repro.pipeline.replay import (
     load_parsed_trace,
     merge_manifest_traces,
     read_manifest,
+    strict_unit_error,
     trace_record,
     unit_digest,
+    unit_digest_or_placeholder,
     write_manifest,
 )
 from repro.services.catalog import ServiceSpec
@@ -126,6 +133,55 @@ class ShardTask:
     unit_range: tuple[int, int] | None = None  # [start, stop) trace units
     part: int = 0  # sub-shard index within the service (canonical order)
     estimated_cost: float = 0.0
+    # Graceful degradation (``--keep-going``): a unit that fails decode
+    # is quarantined into ``ShardResult.degraded`` instead of aborting
+    # the shard.  False (``--strict``, the default) fails fast with an
+    # error naming the unit.
+    keep_going: bool = False
+    # Seeded fault-injection plan (``--inject-faults``); None in
+    # normal operation.  Evaluated worker-side so pool workers replay
+    # the exact same fault schedule as a sequential run would.
+    faults: FaultPlan | None = None
+    # Which executor attempt is running this task (0 = first).  The
+    # retrying process pool bumps it on resubmission so transient
+    # injected kills don't re-fire and recovery terminates.
+    fault_attempt: int = 0
+
+
+@dataclass(slots=True, frozen=True)
+class DegradedUnit:
+    """One quarantined trace unit: the record of a contained failure.
+
+    Collected instead of raised under ``--keep-going``: the audit
+    completes without the unit, the report gains a ``degraded``
+    section listing these, and the CLI exits 3 ("completed with
+    degraded units").  Carries everything an operator needs to triage
+    without re-running: which unit, where its artifact lives, its
+    content digest, the pipeline stage that failed, and the error.
+    """
+
+    service: str
+    unit: str  # trace unit name
+    path: str  # primary artifact path
+    digest: str  # content digest ("unavailable" if undigestable)
+    stage: str  # "decode" (artifact unreadable) or "process" (worker died)
+    error: str  # exception class name, e.g. "ReplayError", "WorkerCrash"
+    detail: str  # human-readable failure description
+
+
+def _degraded_for_unit(
+    service: str, unit: TraceUnit, stage: str, error: str, detail: str
+) -> DegradedUnit:
+    source = unit.har if unit.har is not None else unit.pcap
+    return DegradedUnit(
+        service=service,
+        unit=unit.meta.name,
+        path=str(source),
+        digest=unit_digest_or_placeholder(unit),
+        stage=stage,
+        error=error,
+        detail=detail,
+    )
 
 
 @dataclass(slots=True)
@@ -149,6 +205,9 @@ class ShardResult:
     store_misses: int = 0
     # Wall time per stage (see repro.pipeline.profile.SHARD_STAGES).
     stage_times: dict[str, float] = field(default_factory=dict)
+    # Units quarantined under --keep-going (empty in strict mode —
+    # their failures raise instead).
+    degraded: list[DegradedUnit] = field(default_factory=list)
 
 
 def default_classifier() -> Classifier:
@@ -159,7 +218,9 @@ def default_classifier() -> Classifier:
 
 
 def prepare_classifier(
-    classifier: Classifier | None, cache_dir: Path | str | None
+    classifier: Classifier | None,
+    cache_dir: Path | str | None,
+    faults: FaultPlan | None = None,
 ) -> Classifier:
     """The classifier stack every pipeline front door builds.
 
@@ -168,13 +229,15 @@ def prepare_classifier(
     file, unwritable, unrecoverably corrupt) fails before any
     expensive work starts; store failures *mid-run* degrade to
     uncached instead.  Shared by the batch engine and the streaming
-    session so the two can never wire the store differently.
+    session so the two can never wire the store differently.  A
+    ``faults`` plan that injects store faults rides on the persistent
+    layer (see :class:`repro.faults.FlakyStore`).
     """
     if classifier is None:
         classifier = default_classifier()
     if cache_dir is not None:
         classifier = PersistentClassifier.wrap(
-            classifier, store_path_for(cache_dir)
+            classifier, store_path_for(cache_dir), faults=faults
         )
         classifier.store
     return classifier
@@ -210,15 +273,19 @@ def record_run_stats(
 
 
 @lru_cache(maxsize=4)
-def _worker_classifier(cache_dir: str | None) -> Classifier:
+def _worker_classifier(
+    cache_dir: str | None, faults: FaultPlan | None = None
+) -> Classifier:
     """The default classifier stack, rebuilt worker-side.
 
     Memoized per process so every sub-shard a worker picks up shares
     one stack (and, with a ``cache_dir``, one store connection).  On
     Linux the pool forks, so workers usually inherit the parent's
-    warmed module caches for free; this covers spawn too.
+    warmed module caches for free; this covers spawn too.  The fault
+    plan is part of the key — frozen and hashable by design — so a
+    faulted run never reuses a clean run's store wiring.
     """
-    return prepare_classifier(None, cache_dir)
+    return prepare_classifier(None, cache_dir, faults=faults)
 
 
 def resolve_task_stack(
@@ -236,7 +303,7 @@ def resolve_task_stack(
         cache_dir = (
             str(task.cache_dir) if task.cache_dir is not None else None
         )
-        classifier = _worker_classifier(cache_dir)
+        classifier = _worker_classifier(cache_dir, task.faults)
     entity_db = task.entity_db
     if entity_db is None:
         from repro.destinations.entities import default_entity_db
@@ -277,6 +344,69 @@ def shard_trace_source(task: ShardTask) -> "Iterable[ParsedTrace]":
     )
 
 
+def _replay_trace_source(
+    task: ShardTask, degraded: list[DegradedUnit]
+) -> "Iterable[ParsedTrace]":
+    """Replay decode with per-unit error containment.
+
+    A unit whose artifact cannot be decoded (real corruption, or a
+    fault plan's synthetic corruption) either aborts the shard with an
+    error naming the unit, its path and its digest (strict mode) or is
+    quarantined into ``degraded`` and skipped (``--keep-going``) — one
+    bad unit never costs the rest of the shard.
+    """
+    for unit in task.replay_units or ():
+        try:
+            if task.faults is not None and task.faults.corrupt_unit(
+                unit.meta.name
+            ):
+                raise ReplayError(
+                    f"fault injection (profile {task.faults.profile!r}, "
+                    f"seed {task.faults.seed}): artifact for trace "
+                    f"{unit.meta.name!r} treated as corrupt"
+                )
+            yield load_parsed_trace(unit)
+        except ReplayError as exc:
+            if not task.keep_going:
+                raise strict_unit_error(unit, exc) from exc
+            cause = exc.__cause__
+            degraded.append(
+                _degraded_for_unit(
+                    task.service,
+                    unit,
+                    stage="decode",
+                    error=type(cause or exc).__name__,
+                    detail=str(exc),
+                )
+            )
+
+
+def _apply_worker_faults(task: ShardTask) -> None:
+    """Evaluate a task's kill/stall faults, worker-side.
+
+    Kill faults (including a persistent ``poison_unit``) only fire in
+    process-pool workers — ``multiprocessing.parent_process()`` is set
+    there — never in the parent, a thread, or the in-process fallback:
+    injected crashes must exercise recovery, not commit suicide.
+    Stalls fire everywhere; a sleep never changes output bytes.
+    """
+    faults = task.faults
+    if faults is None:
+        return
+    in_pool_worker = multiprocessing.parent_process() is not None
+    if in_pool_worker:
+        poison = faults.poison_unit
+        if poison is not None and any(
+            unit.meta.name == poison for unit in task.replay_units or ()
+        ):
+            os._exit(1)
+        if faults.kill_worker(task.service, task.part, task.fault_attempt):
+            os._exit(1)
+    delay = faults.stall_worker(task.service, task.part)
+    if delay:
+        time.sleep(delay)
+
+
 def process_shard(task: ShardTask) -> ShardResult:
     """Run capture → parse → classify → flow-build for one service.
 
@@ -292,6 +422,7 @@ def process_shard(task: ShardTask) -> ShardResult:
     an in-memory hit.  Wall time is attributed per stage in
     ``ShardResult.stage_times``.
     """
+    _apply_worker_faults(task)
     timer = StageTimer()
     with timer.stage("setup"):
         classifier, entity_db, blocklists = resolve_task_stack(task)
@@ -331,8 +462,14 @@ def process_shard(task: ShardTask) -> ShardResult:
     trace_plans: list[tuple[object, object, object, list[tuple[str, list[str]]]]] = []
     key_lists: list[list[str]] = []
 
+    degraded: list[DegradedUnit] = []
     source_stage = "decode" if task.replay_units is not None else "generate"
-    source = iter(shard_trace_source(task))
+    if task.replay_units is not None:
+        # The containment-aware source: decode failures quarantine
+        # (keep-going) or raise an enriched strict error per unit.
+        source = iter(_replay_trace_source(task, degraded))
+    else:
+        source = iter(shard_trace_source(task))
     while True:
         with timer.stage(source_stage):
             parsed = next(source, None)
@@ -411,6 +548,7 @@ def process_shard(task: ShardTask) -> ShardResult:
         store_hits=(persistent.store_hits - store_hits_before) if persistent else 0,
         store_misses=(persistent.misses - store_misses_before) if persistent else 0,
         stage_times=timer.times,
+        degraded=degraded,
     )
 
 
@@ -451,6 +589,9 @@ class PackedShardResult:
     store_hits: int
     store_misses: int
     stage_times: dict[str, float]
+    # Quarantined units travel as-is: a handful at most, each a small
+    # frozen record — not worth interning.
+    degraded: tuple = ()
 
     def unpack(self) -> ShardResult:
         pool = self.pool
@@ -484,6 +625,7 @@ class PackedShardResult:
             store_hits=self.store_hits,
             store_misses=self.store_misses,
             stage_times=self.stage_times,
+            degraded=list(self.degraded),
         )
 
 
@@ -534,6 +676,7 @@ def pack_shard_result(result: ShardResult) -> PackedShardResult:
         store_hits=result.store_hits,
         store_misses=result.store_misses,
         stage_times=result.stage_times,
+        degraded=tuple(result.degraded),
     )
     packed.pool = tuple(indexes)
     return packed
@@ -610,8 +753,9 @@ def _replay_unit_cost(unit: TraceUnit) -> float:
         if path is not None:
             try:
                 cost += path.stat().st_size
+            # repro-lint: disable=X-SWALLOW — cost estimation only; a vanished artifact fails at decode with a real, recorded error
             except OSError:
-                pass  # vanished artifacts fail later, with a real error
+                pass
     return cost
 
 
@@ -826,9 +970,41 @@ class ShardExecutor(Protocol):
     jobs: int
 
     def map_shards(
-        self, tasks: list, work: Callable = process_shard
+        self,
+        tasks: list,
+        work: Callable = process_shard,
+        on_result: Callable | None = None,
     ) -> list:  # pragma: no cover
         ...
+
+
+@dataclass(slots=True)
+class ShardCrash:
+    """Sentinel result for a task whose worker died repeatedly.
+
+    The retrying process pool emits one per slot that still failed
+    after every attempt; the engine then bisects the shard to isolate
+    the poison unit and runs the clean remainder in-process.  Never
+    leaves the parent process.
+    """
+
+    task: object
+    attempts: int
+    error: str
+
+
+def _invoke_on_result(on_result: Callable | None, index: int, result) -> None:
+    """Deliver one completed raw result to the caller's flush hook.
+
+    ``on_result(index, result)`` fires parent-side as results land, in
+    completion order — the engine uses it to persist per-unit results
+    the moment they exist, so a SIGKILL later in the run loses nothing
+    already computed.  Hooks are best-effort observers: they must not
+    raise (the engine's hook swallows into a warning itself), and they
+    never see :class:`ShardCrash` sentinels.
+    """
+    if on_result is not None and not isinstance(result, ShardCrash):
+        on_result(index, result)
 
 
 @dataclass
@@ -838,8 +1014,18 @@ class SequentialExecutor:
     kind = "sequential"
     jobs: int = 1
 
-    def map_shards(self, tasks: list, work: Callable = process_shard) -> list:
-        return [work(task) for task in tasks]
+    def map_shards(
+        self,
+        tasks: list,
+        work: Callable = process_shard,
+        on_result: Callable | None = None,
+    ) -> list:
+        results = []
+        for index, task in enumerate(tasks):
+            result = work(task)
+            _invoke_on_result(on_result, index, result)
+            results.append(result)
+        return results
 
 
 def _worker_ignores_interrupt() -> None:
@@ -849,8 +1035,14 @@ def _worker_ignores_interrupt() -> None:
     every worker dies printing its own ``KeyboardInterrupt`` traceback
     while the parent is already tearing the pool down.  The parent
     terminates workers explicitly instead.
+
+    SIGTERM goes back to its default: a forked worker inherits the
+    CLI's SIGTERM→KeyboardInterrupt handler, which turns the parent's
+    own teardown ``terminate()`` into per-worker traceback spew right
+    under the one real error message.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
 
 
 @dataclass
@@ -868,28 +1060,111 @@ class ProcessPoolShardExecutor:
     cancelled and running workers terminated before the exception
     propagates — no traceback spew from the pool, no orphaned
     processes grinding on work nobody will collect.
+
+    Worker crashes are survivable: a killed worker (OOM, segfault,
+    injected fault) breaks the whole pool and poisons every pending
+    future with :class:`BrokenProcessPool`.  Completed results are
+    kept, the pool is rebuilt, and the failed shards are retried with
+    bounded exponential backoff (``max_attempts`` total tries).  A
+    shard that dies on every attempt comes back as a
+    :class:`ShardCrash` sentinel in its slot — the engine decides
+    whether to bisect, degrade, or raise.  Retries never reorder
+    anything: results still land by input index, so output bytes are
+    untouched by how many times the pool died.
     """
 
     kind = "process"
     jobs: int = 2
+    # Total tries per shard (first run + retries) before its slot
+    # becomes a ShardCrash.
+    max_attempts: int = 3
+    # First retry delay; doubles per retry.  Long enough to let a
+    # transient cause (OOM pressure, a dying sibling) clear, short
+    # enough to be invisible next to shard wall time.
+    retry_backoff_s: float = 0.05
+    # Run even a single task through the pool instead of the
+    # sequential shortcut — the engine's bisection probes need crash
+    # isolation for exactly one task.
+    isolate_single: bool = False
 
-    def map_shards(self, tasks: list, work: Callable = process_shard) -> list:
-        if len(tasks) <= 1:
-            return SequentialExecutor().map_shards(tasks, work)
-        workers = min(self.jobs, len(tasks))
+    def map_shards(
+        self,
+        tasks: list,
+        work: Callable = process_shard,
+        on_result: Callable | None = None,
+    ) -> list:
+        if len(tasks) <= 1 and not self.isolate_single:
+            return SequentialExecutor().map_shards(tasks, work, on_result)
+        results: list = [None] * len(tasks)
+        current: dict[int, object] = dict(enumerate(tasks))
+        pending = list(current)
+        for attempt in range(self.max_attempts):
+            if not pending:
+                break
+            if attempt:
+                time.sleep(
+                    min(self.retry_backoff_s * (2 ** (attempt - 1)), 1.0)
+                )
+                # Tasks that understand attempts get told which one
+                # this is — transient injected kills key off it.
+                for index in pending:
+                    task = current[index]
+                    if isinstance(task, ShardTask):
+                        current[index] = dataclasses.replace(
+                            task, fault_attempt=attempt
+                        )
+            pending = self._run_attempt(
+                {index: current[index] for index in pending},
+                work,
+                results,
+                on_result,
+            )
+        for index in pending:
+            results[index] = ShardCrash(
+                task=current[index],
+                attempts=self.max_attempts,
+                error=(
+                    f"worker process died on all {self.max_attempts} "
+                    "attempts (BrokenProcessPool)"
+                ),
+            )
+        return results
+
+    def _run_attempt(
+        self,
+        slots: dict[int, object],
+        work: Callable,
+        results: list,
+        on_result: Callable | None,
+    ) -> list[int]:
+        """One pool generation over ``slots``; returns crashed indexes.
+
+        Completed futures write straight into ``results``; a broken
+        pool only costs the shards that had not finished.
+        """
+        workers = min(self.jobs, len(slots))
         # Heaviest first; ties keep canonical order for determinism.
         submission = sorted(
-            range(len(tasks)),
-            key=lambda i: (-getattr(tasks[i], "estimated_cost", 0.0), i),
+            slots,
+            key=lambda i: (-getattr(slots[i], "estimated_cost", 0.0), i),
         )
-        results: list = [None] * len(tasks)
+        failed: list[int] = []
         with ProcessPoolExecutor(
             max_workers=workers, initializer=_worker_ignores_interrupt
         ) as pool:
-            futures = {pool.submit(work, tasks[i]): i for i in submission}
+            futures = {pool.submit(work, slots[i]): i for i in submission}
             try:
                 for future in as_completed(futures):
-                    results[futures[future]] = future.result()
+                    index = futures[future]
+                    try:
+                        results[index] = future.result()
+                    except BrokenProcessPool:
+                        # One dead worker poisons every pending future
+                        # in this generation; collect them all and let
+                        # the caller retry in a fresh pool.
+                        failed.append(index)
+                        continue
+                    _invoke_on_result(on_result, index, results[index])
             # repro-lint: disable=X-BARE-EXCEPT — teardown guard: terminate pool workers on ANY interrupt (incl. KeyboardInterrupt), then re-raise unchanged
             except BaseException:
                 # Snapshot the worker list first — shutdown(wait=False)
@@ -899,7 +1174,7 @@ class ProcessPoolShardExecutor:
                 for process in processes:
                     process.terminate()
                 raise
-        return results
+        return sorted(failed)
 
 
 @dataclass
@@ -925,9 +1200,14 @@ class ThreadPoolShardExecutor:
     kind = "thread"
     jobs: int = 2
 
-    def map_shards(self, tasks: list, work: Callable = process_shard) -> list:
+    def map_shards(
+        self,
+        tasks: list,
+        work: Callable = process_shard,
+        on_result: Callable | None = None,
+    ) -> list:
         if len(tasks) <= 1:
-            return SequentialExecutor().map_shards(tasks, work)
+            return SequentialExecutor().map_shards(tasks, work, on_result)
         workers = min(self.jobs, len(tasks))
         submission = sorted(
             range(len(tasks)),
@@ -938,7 +1218,9 @@ class ThreadPoolShardExecutor:
             futures = {pool.submit(work, tasks[i]): i for i in submission}
             try:
                 for future in as_completed(futures):
-                    results[futures[future]] = future.result()
+                    index = futures[future]
+                    results[index] = future.result()
+                    _invoke_on_result(on_result, index, results[index])
             # repro-lint: disable=X-BARE-EXCEPT — teardown guard: cancel queued shards on ANY interrupt, then re-raise unchanged
             except BaseException:
                 pool.shutdown(wait=False, cancel_futures=True)
@@ -980,6 +1262,45 @@ def executor_for(
 
 
 # ----------------------------------------------------------------------
+# Worker-crash recovery: poison-unit bisection
+# ----------------------------------------------------------------------
+
+
+def _isolate_poison_units(task: ShardTask, work: Callable) -> list[TraceUnit]:
+    """Bisect a repeatedly-crashing replay shard down to its poison units.
+
+    Splits the shard's unit slice in half and probes each half in a
+    fresh single-worker pool (``isolate_single`` keeps even one task
+    out of the in-process shortcut — a genuinely crashing unit must
+    die in a child, never in the parent).  Halves that survive are
+    clean; halves that crash recurse.  A singleton that crashes IS the
+    poison.  O(k·log n) probe launches for k poison units — the probes
+    exist to *identify* them, their results are discarded; the caller
+    reruns the clean remainder in-process.
+    """
+    units = task.replay_units or ()
+    if len(units) <= 1:
+        return list(units)
+    probe = ProcessPoolShardExecutor(
+        jobs=1, max_attempts=2, retry_backoff_s=0.01, isolate_single=True
+    )
+    mid = len(units) // 2
+    halves = [
+        dataclasses.replace(task, replay_units=units[:mid]),
+        dataclasses.replace(task, replay_units=units[mid:]),
+    ]
+    poisons: list[TraceUnit] = []
+    for half in halves:
+        # One pool generation per half: probing both in a shared pool
+        # would let the poison half's crash poison the clean sibling's
+        # pending future (BrokenProcessPool taints every in-flight
+        # future), and a clean unit would get blamed at singleton depth.
+        if isinstance(probe.map_shards([half], work=work)[0], ShardCrash):
+            poisons.extend(_isolate_poison_units(half, work))
+    return poisons
+
+
+# ----------------------------------------------------------------------
 # Engine
 # ----------------------------------------------------------------------
 
@@ -1004,6 +1325,10 @@ class EngineOutput:
     # cache vs. units that went through process_shard this run.
     unit_hits: int = 0
     unit_misses: int = 0
+    # Units quarantined this run (keep-going mode): decode failures
+    # contained in shards plus poison units isolated by crash
+    # bisection.  Empty in strict mode and on every clean run.
+    degraded: list[DegradedUnit] = field(default_factory=list)
     # Wall-time attribution for this run (the ``engine`` section of a
     # profile document — see repro.pipeline.profile): orchestration
     # stages, IPC payload sizes, and the aggregated per-shard stages.
@@ -1044,6 +1369,15 @@ class AuditEngine:
     # cache.  Output is byte-identical either way — merge folds
     # per-unit results exactly as it folds sub-shards.
     incremental: bool = True
+    # Graceful degradation (``--keep-going``): quarantine units that
+    # fail decode (and poison units that crash workers) into
+    # ``EngineOutput.degraded`` instead of aborting.  False keeps
+    # today's fail-fast behaviour (``--strict``, the parity-CI
+    # default).
+    keep_going: bool = False
+    # Seeded fault-injection plan (``--inject-faults PROFILE``); None
+    # in normal operation.
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         # Remember which components are the defaults BEFORE resolving
@@ -1052,7 +1386,9 @@ class AuditEngine:
         self._default_classifier = self.classifier is None
         self._default_entity_db = self.entity_db is None
         self._default_blocklists = self.blocklists is None
-        self.classifier = prepare_classifier(self.classifier, self.cache_dir)
+        self.classifier = prepare_classifier(
+            self.classifier, self.cache_dir, faults=self.faults
+        )
         if self.entity_db is None:
             from repro.destinations.entities import default_entity_db
 
@@ -1105,6 +1441,8 @@ class AuditEngine:
                 blocklists=self.blocklists,
                 artifacts_dir=self.artifacts_dir,
                 replay_units=replay_units.get(spec.key),
+                keep_going=self.keep_going,
+                faults=self.faults,
             )
             for spec in self.config.service_specs()
         ]
@@ -1126,6 +1464,7 @@ class AuditEngine:
         owners: dict[tuple[str, str], str | None] = {}
         trace_count = 0
         hits = misses = store_hits = store_misses = 0
+        degraded: list[DegradedUnit] = []
         for result in results:
             flows.merge(result.flows)
             dataset.merge(result.dataset)
@@ -1139,6 +1478,7 @@ class AuditEngine:
             misses += result.cache_misses
             store_hits += result.store_hits
             store_misses += result.store_misses
+            degraded.extend(result.degraded)
         return EngineOutput(
             flows=flows,
             dataset=dataset,
@@ -1151,6 +1491,7 @@ class AuditEngine:
             cache_misses=misses,
             store_hits=store_hits,
             store_misses=store_misses,
+            degraded=degraded,
         )
 
     def _slim_tasks(self, tasks: list[ShardTask]) -> None:
@@ -1266,40 +1607,124 @@ class AuditEngine:
             if corrupt:
                 try:
                     store.delete_unit_results(corrupt)
+                # repro-lint: disable=X-SWALLOW — quarantine cleanup is cosmetic; undeleted corrupt rows stay invisible to lookups anyway
                 except StoreError:
-                    pass  # the rows stay invisible to lookups anyway
+                    pass
         return slots, dirty_tasks, dirty_digests
 
     @staticmethod
-    def _persist_unit_results(
+    def _unit_flush_hook(
         store: ClassificationStore,
         epoch: str,
         digests: list[str],
-        results: list[ShardResult],
-        packed_results: "list[PackedShardResult] | None",
         timer: StageTimer,
-    ) -> None:
-        """Write freshly computed per-unit results through, best-effort.
+    ) -> Callable:
+        """The per-unit write-through hook for ``map_shards(on_result=)``.
 
-        ``packed_results`` reuses the process pool's IPC payloads when
-        available; otherwise results are packed here.  A store failure
-        only costs next run's warm start — the audit already has its
-        results in hand.
+        Crash-safe resume is built on flushing *as results complete*,
+        not at run end: every unit result reaches the store the moment
+        its shard finishes, so a SIGKILL mid-run loses only in-flight
+        work and ``audit --resume`` reuses everything already
+        persisted.  Best-effort by contract — the first store failure
+        disables flushing with one warning (this run's audit is
+        unaffected; only the next run's warm start is lost).  Degraded
+        results are never cached: a quarantined unit is re-attempted
+        on every run.
         """
-        with timer.stage("store_put"):
-            if packed_results is None:
-                packed_results = [pack_shard_result(result) for result in results]
-            rows = [
-                (digest, result.service, pickle.dumps(packed))
-                for digest, result, packed in zip(digests, results, packed_results)
-            ]
-            try:
-                store.put_unit_results(epoch, rows)
-            except StoreError as exc:
-                print(
-                    f"warning: could not persist unit results: {exc}",
-                    file=sys.stderr,
+        state = {"disabled": False}
+
+        def flush(index: int, raw) -> None:
+            if state["disabled"]:
+                return
+            packed = (
+                raw
+                if isinstance(raw, PackedShardResult)
+                else pack_shard_result(raw)
+            )
+            if packed.degraded:
+                return
+            with timer.stage("store_put"):
+                try:
+                    store.put_unit_results(
+                        epoch,
+                        [(digests[index], packed.service, pickle.dumps(packed))],
+                    )
+                except StoreError as exc:
+                    state["disabled"] = True
+                    print(
+                        f"warning: could not persist unit results: {exc}",
+                        file=sys.stderr,
+                    )
+
+        return flush
+
+    def _resolve_crashes(
+        self,
+        raw_results: list,
+        work: Callable,
+        degraded: list[DegradedUnit],
+        flush: Callable | None,
+    ) -> list:
+        """Turn :class:`ShardCrash` slots into results, quarantine, or error.
+
+        For each shard whose worker died on every pool attempt: bisect
+        its replay units to isolate the poison (see
+        :func:`_isolate_poison_units`), then run the clean remainder
+        in-process sequentially — the most robust executor there is.
+        Poison units raise in strict mode (naming unit, path, digest)
+        and become ``stage="process"`` :class:`DegradedUnit` records
+        under ``--keep-going``.  A crash with no isolatable poison
+        (transient environmental failure that outlived the retries, or
+        a generated — unit-less — shard) falls back to in-process for
+        the whole shard.  Slots whose every unit was quarantined
+        become ``None`` (dropped before merge).
+        """
+        resolved = list(raw_results)
+        for index, raw in enumerate(raw_results):
+            if not isinstance(raw, ShardCrash):
+                continue
+            task = raw.task
+            units = task.replay_units if isinstance(task, ShardTask) else None
+            if units is None:
+                # Nothing to bisect: retry the whole shard in-process.
+                resolved[index] = work(task)
+                _invoke_on_result(flush, index, resolved[index])
+                continue
+            poisons = _isolate_poison_units(task, work)
+            poison_names = {unit.meta.name for unit in poisons}
+            if poisons and not self.keep_going:
+                unit = poisons[0]
+                source = unit.har if unit.har is not None else unit.pcap
+                raise ReplayError(
+                    f"worker process died repeatedly while processing "
+                    f"unit {unit.meta.name!r} [artifact {source}, digest "
+                    f"{unit_digest_or_placeholder(unit)}; {raw.error}; "
+                    "use --keep-going to quarantine this unit and continue]"
                 )
+            for unit in poisons:
+                degraded.append(
+                    _degraded_for_unit(
+                        task.service,
+                        unit,
+                        stage="process",
+                        error="WorkerCrash",
+                        detail=(
+                            "worker process died while processing this "
+                            f"unit ({raw.error})"
+                        ),
+                    )
+                )
+            remainder = tuple(
+                unit for unit in units if unit.meta.name not in poison_names
+            )
+            if not remainder:
+                resolved[index] = None
+                continue
+            resolved[index] = work(
+                dataclasses.replace(task, replay_units=remainder)
+            )
+            _invoke_on_result(flush, index, resolved[index])
+        return resolved
 
     def _thread_task_classifiers(self, tasks: list[ShardTask]) -> None:
         """Give every thread-pool task an isolated classifier stack.
@@ -1315,7 +1740,7 @@ class AuditEngine:
             classifier = task.classifier
             if isinstance(classifier, PersistentClassifier):
                 task.classifier = PersistentClassifier(
-                    classifier.inner, classifier.path
+                    classifier.inner, classifier.path, faults=classifier.faults
                 )
 
     def run(self) -> EngineOutput:
@@ -1367,46 +1792,65 @@ class AuditEngine:
                 else:
                     self._thread_task_classifiers(tasks)
         work = _process_shard_packed if packed else process_shard
+        # Crash-safe resume: in incremental mode every fresh unit
+        # result is flushed to the store the moment its shard
+        # completes, so an interrupted run (even SIGKILL) leaves
+        # everything already computed for ``--resume`` to reuse.
+        flush = (
+            self._unit_flush_hook(unit_store, epoch, dirty_digests, unit_stages)
+            if unit_store is not None
+            else None
+        )
         with timer.stage("execute"):
-            raw_results = executor.map_shards(tasks, work=work)
+            raw_results = executor.map_shards(tasks, work=work, on_result=flush)
+        crash_degraded: list[DegradedUnit] = []
+        if any(isinstance(raw, ShardCrash) for raw in raw_results):
+            raw_results = self._resolve_crashes(
+                raw_results, work, crash_degraded, flush
+            )
         task_bytes = result_bytes = 0
-        fresh_packed: list[PackedShardResult] | None = None
         if packed:
             # Results crossed the pool pickled; unpack (and measure
-            # the IPC payloads) parent-side.
+            # the IPC payloads) parent-side.  ``None`` slots are
+            # fully-quarantined shards — nothing to unpack or merge.
             with timer.stage("unpack"):
-                results = [result.unpack() for result in raw_results]
+                results = [
+                    raw.unpack() if raw is not None else None
+                    for raw in raw_results
+                ]
             task_bytes = sum(len(pickle.dumps(task)) for task in tasks)
             result_bytes = sum(
-                len(pickle.dumps(result)) for result in raw_results
+                len(pickle.dumps(raw)) for raw in raw_results if raw is not None
             )
-            fresh_packed = raw_results
         else:
             results = raw_results
         unit_hits = unit_misses = 0
         if slots is not None:
             unit_hits = sum(1 for cached in slots if cached is not None)
-            unit_misses = len(results)
-            if unit_store is not None and results:
-                self._persist_unit_results(
-                    unit_store, epoch, dirty_digests, results,
-                    fresh_packed, unit_stages,
-                )
+            unit_misses = sum(1 for result in results if result is not None)
             # Weave cached and fresh results back into canonical
             # order (service-spec order, then unit order) — the order
             # merge requires.  merge folds per-unit results exactly
             # as it folds sub-shards, so output bytes cannot depend
-            # on what was cached.
+            # on what was cached.  A ``None`` fresh result is a
+            # quarantined unit: it contributes nothing, exactly as if
+            # the unit were absent from the corpus.
             with timer.stage("unpack"):
                 dirty_iter = iter(results)
-                results = [
-                    _cached_shard_result(cached)
-                    if cached is not None
-                    else next(dirty_iter)
-                    for cached in slots
-                ]
+                woven: list[ShardResult] = []
+                for cached in slots:
+                    if cached is not None:
+                        woven.append(_cached_shard_result(cached))
+                        continue
+                    fresh = next(dirty_iter)
+                    if fresh is not None:
+                        woven.append(fresh)
+                results = woven
+        else:
+            results = [result for result in results if result is not None]
         with timer.stage("merge"):
             merged = self.merge(results)
+        merged.degraded.extend(crash_degraded)
         stages = StageTimer()
         for result in results:
             stages.merge(result.stage_times)

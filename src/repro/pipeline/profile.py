@@ -23,6 +23,8 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterator, Mapping
 
+from repro.fsutil import atomic_write_text
+
 PROFILE_VERSION = 1
 
 # Engine-level keys every profile's ``engine`` section carries.
@@ -150,5 +152,6 @@ def write_profile(path: Path | str, document: Mapping) -> Path:
     validate_profile(document)
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
-    return path
+    return atomic_write_text(
+        path, json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.capture.base import TraceMeta
+from repro.fsutil import atomic_write_text
 from repro.model import AgeGroup, Platform, TraceKind
 from repro.net.har import read_har
 from repro.pipeline.corpus import (
@@ -189,6 +190,35 @@ def unit_digest(unit: TraceUnit, *, eager: bool = False) -> str:
     return hasher.hexdigest()
 
 
+def unit_digest_or_placeholder(unit: TraceUnit) -> str:
+    """A unit's content digest, or ``"unavailable"``.
+
+    Error paths want the digest for the record (degraded-unit entries,
+    strict failure messages) but must never let digesting a *broken*
+    unit — vanished file, permission error — mask the original
+    failure."""
+    try:
+        return unit_digest(unit)
+    except ReplayError:
+        return "unavailable"
+
+
+def strict_unit_error(unit: TraceUnit, exc: Exception) -> ReplayError:
+    """Fail-fast decode error, enriched for the operator.
+
+    A corrupt artifact used to exit 2 with only the parser's complaint;
+    recovering meant bisecting the corpus by hand.  The strict-mode
+    error always names the offending unit, its artifact path and its
+    content digest, and points at ``--keep-going`` as the quarantine
+    alternative."""
+    source = unit.har if unit.har is not None else unit.pcap
+    return ReplayError(
+        f"{exc} [unit {unit.meta.name!r}, artifact {source}, "
+        f"digest {unit_digest_or_placeholder(unit)}; "
+        "use --keep-going to quarantine this unit and continue]"
+    )
+
+
 def meta_from_name(name: str) -> TraceMeta:
     """Parse ``{service}-{platform}-{kind}-{age}`` artifact stems.
 
@@ -269,7 +299,9 @@ def write_manifest(
         "traces": records,
     }
     path = directory / MANIFEST_NAME
-    path.write_text(json.dumps(document, indent=1), encoding="utf-8")
+    # Atomic: an interrupted generate must leave the previous manifest
+    # intact, not a torn JSON file that poisons every later replay.
+    atomic_write_text(path, json.dumps(document, indent=1))
     return path
 
 

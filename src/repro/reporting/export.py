@@ -165,6 +165,23 @@ def result_to_json(
         "unique_data_types": result.unique_data_types,
         "unique_flows": len(result.flows.unique_flows()),
     }
+    if result.degraded:
+        # Only when non-empty: clean runs (and strict runs, which never
+        # get here with failures) keep their exact output bytes, so
+        # every parity invariant — sequential==parallel, cold==warm,
+        # non-data-fault==clean — still compares byte-for-byte.
+        document["degraded"] = [
+            {
+                "service": entry.service,
+                "unit": entry.unit,
+                "path": entry.path,
+                "digest": entry.digest,
+                "stage": entry.stage,
+                "error": entry.error,
+                "detail": entry.detail,
+            }
+            for entry in result.degraded
+        ]
     if provenance is not None:
         document["provenance"] = provenance.to_json_dict()
     return json.dumps(document, indent=2)

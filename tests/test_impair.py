@@ -40,6 +40,7 @@ def reassemble(packets) -> dict[str, tuple[bytes, bool]]:
     for timestamp, data in packets:
         try:
             segment = parse_tcp_segment(data, timestamp=timestamp)
+        # repro-lint: disable=X-SWALLOW — impairment can corrupt frames on purpose; undecodable ones drop like the real pipeline drops them
         except PacketError:
             continue
         reassembler.add_segment(segment)

@@ -38,6 +38,7 @@ from repro.lint.executor import (
     MutableDefaultRule,
     PackedResultCoverageRule,
     PoolDataclassSlotsRule,
+    SwallowedExceptionRule,
 )
 from repro.lint.report import render_json, render_text
 from repro.lint.sync import (
@@ -357,6 +358,57 @@ class TestExecutorRules:
         )
         assert fired == []
 
+    def test_x_swallow_fires_on_pass(self, tmp_path):
+        fired, _ = lint_snippet(
+            tmp_path,
+            """
+            def cleanup(path):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            """,
+            SwallowedExceptionRule(),
+        )
+        assert fired == ["X-SWALLOW"]
+
+    def test_x_swallow_fires_on_continue(self, tmp_path):
+        fired, _ = lint_snippet(
+            tmp_path,
+            """
+            def drain(items):
+                out = []
+                for item in items:
+                    try:
+                        out.append(item.decode())
+                    except ValueError:
+                        continue
+                return out
+            """,
+            SwallowedExceptionRule(),
+        )
+        assert fired == ["X-SWALLOW"]
+
+    def test_x_swallow_near_miss_recorded_failure(self, tmp_path):
+        # A handler that *records* the failure — appends, logs, counts,
+        # or re-raises — is exactly what the rule wants instead.
+        fired, _ = lint_snippet(
+            tmp_path,
+            """
+            def drain(items, errors):
+                out = []
+                for item in items:
+                    try:
+                        out.append(item.decode())
+                    except ValueError as exc:
+                        errors.append(exc)
+                        continue
+                return out
+            """,
+            SwallowedExceptionRule(),
+        )
+        assert fired == []
+
     def test_x_pickle_fires_on_unslotted_pool_payload(self, tmp_path):
         fired, _ = lint_snippet(
             tmp_path,
@@ -535,10 +587,15 @@ class TestSyncRules:
         assert result.findings
         assert {f.rule for f in result.findings} == {"S-PROFILE-DOC"}
         # every named profile must be reported missing
+        from repro.faults import FAULT_PROFILES
         from repro.services.generator import LOAD_PROFILES
         from repro.stream.impair import IMPAIRMENT_PROFILES
 
-        expected = len(LOAD_PROFILES) + len(IMPAIRMENT_PROFILES)
+        expected = (
+            len(LOAD_PROFILES)
+            + len(IMPAIRMENT_PROFILES)
+            + len(FAULT_PROFILES)
+        )
         assert len(result.findings) == expected
 
     def test_s_bench_doc_fires_when_missing(self, tmp_path):
