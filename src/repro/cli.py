@@ -113,6 +113,29 @@ def _add_impair_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_metrics_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the run's final telemetry snapshot to FILE on exit "
+        "(.prom/.txt: Prometheus text exposition format; any other "
+        "suffix: a JSON snapshot); telemetry is observational only — "
+        "results are byte-identical with or without it",
+    )
+
+
+def _write_metrics_out(args) -> None:
+    """Honor ``--metrics-out`` after a command's work is done."""
+    path = getattr(args, "metrics_out", None)
+    if not path:
+        return
+    from repro.obs import write_metrics
+
+    write_metrics(path)
+    print(f"wrote metrics to {path}", file=sys.stderr)
+
+
 def _add_cache_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir",
@@ -311,6 +334,11 @@ def cmd_audit(args) -> int:
     if error:
         print(error, file=sys.stderr)
         return 2
+    span_sink = None
+    if args.spans_out:
+        from repro.obs.trace import SpanRecorder
+
+        span_sink = SpanRecorder(retain_events=True)
     try:
         corpus = _scan_replay_corpus(args)
         result, profile = DiffAudit(
@@ -322,6 +350,7 @@ def cmd_audit(args) -> int:
             incremental=not args.no_incremental,
             keep_going=not args.strict,
             faults=_fault_plan(args),
+            span_sink=span_sink,
         ).run_profiled()
     except (ReplayError, StoreError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -331,6 +360,21 @@ def cmd_audit(args) -> int:
 
         write_profile(args.profile_out, profile)
         print(f"wrote profile to {args.profile_out}", file=sys.stderr)
+    if span_sink is not None:
+        span_sink.write_jsonl(args.spans_out)
+        print(f"wrote spans to {args.spans_out}", file=sys.stderr)
+    _write_metrics_out(args)
+    if args.verbose:
+        # One consistent run summary, whether the corpus was generated
+        # in-memory or replayed from disk.
+        engine_profile = profile.get("engine", {})
+        print(
+            f"run summary: {engine_profile.get('traces', 0)} traces, "
+            f"{len(result.degraded)} degraded, "
+            f"{engine_profile.get('store_hits', 0)} store hits, "
+            f"{profile['wall_time_s']:.2f}s wall",
+            file=sys.stderr,
+        )
     if args.verbose or args.resume:
         engine_profile = profile.get("engine", {})
         if "unit_hits" in engine_profile:
@@ -379,7 +423,7 @@ def _emit_result(result, json_flag: bool, output: str | None, provenance=None) -
 
         document = result_to_json(result, provenance=provenance)
         if output:
-            Path(output).write_text(document)
+            atomic_write_text(Path(output), document)
             print(f"wrote {output}")
         else:
             print(document)
@@ -393,8 +437,8 @@ def _emit_result(result, json_flag: bool, output: str | None, provenance=None) -
 
         directory = Path(output)
         directory.mkdir(parents=True, exist_ok=True)
-        (directory / "flows.csv").write_text(flows_to_csv(result.flows))
-        (directory / "findings.csv").write_text(findings_to_csv(result))
+        atomic_write_text(directory / "flows.csv", flows_to_csv(result.flows))
+        atomic_write_text(directory / "findings.csv", findings_to_csv(result))
         print(f"wrote {directory}/flows.csv and {directory}/findings.csv")
     return 0
 
@@ -512,6 +556,35 @@ def cmd_stream(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    server = None
+    if args.metrics_port is not None:
+        from repro.obs.http import MetricsServer
+
+        def _live_stats() -> dict:
+            return {
+                "traces": session.trace_count,
+                "packets": session.packet_count,
+                "evictions": session.evictions,
+                "high_water_bytes": session.high_water_bytes,
+            }
+
+        try:
+            # The constructor binds the socket, so it belongs in the
+            # try with start(): a port already in use fails here.
+            server = MetricsServer(port=args.metrics_port, stats_fn=_live_stats)
+            port = server.start()
+        except OSError as exc:
+            print(
+                f"error: cannot bind metrics port {args.metrics_port}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            f"serving metrics on http://127.0.0.1:{port}/metrics "
+            f"(JSON: /stats)",
+            file=sys.stderr,
+        )
+
     index = 0
     try:
         for output in session.snapshots(source):
@@ -532,9 +605,14 @@ def cmd_stream(args) -> int:
     except (ReplayError, StreamError, PcapError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if server is not None:
+            server.stop()
     if snapshot_dir is not None or args.snapshot_every:
         write_snapshot(index + 1, session.snapshot(), final=True)
-    return _emit_result(session.result(), json_flag=args.json, output=args.output)
+    status = _emit_result(session.result(), json_flag=args.json, output=args.output)
+    _write_metrics_out(args)
+    return status
 
 
 def cmd_classify(args) -> int:
@@ -686,6 +764,7 @@ def cmd_report(args) -> int:
         "ci": render_ci,
     }
     print(renderers[args.artifact]())
+    _write_metrics_out(args)
     return _degraded_status(result)
 
 
@@ -790,7 +869,7 @@ def cmd_cache_export(args) -> int:
     output = "\n".join(lines)
     if args.output:
         try:
-            Path(args.output).write_text(output + "\n" if output else "")
+            atomic_write_text(Path(args.output), output + "\n" if output else "")
         except OSError as exc:
             print(f"error: cannot write {args.output!r}: {exc}", file=sys.stderr)
             return 2
@@ -874,7 +953,12 @@ def cmd_bench(args) -> int:
         argv.extend(
             ["--min-incremental-speedup", str(args.min_incremental_speedup)]
         )
-    return bench_main(argv)
+    status = bench_main(argv)
+    # Bench workloads run in isolated child processes, so this snapshot
+    # covers the orchestrating process — written even on a failed gate,
+    # since that is exactly when telemetry is wanted.
+    _write_metrics_out(args)
+    return status
 
 
 def cmd_lint(args) -> int:
@@ -936,11 +1020,20 @@ def build_parser() -> argparse.ArgumentParser:
         "pipeline stage, executor overheads, IPC payload sizes) as JSON",
     )
     audit.add_argument(
+        "--spans-out",
+        metavar="FILE",
+        default=None,
+        help="write the run's span events (engine orchestration stages, "
+        "unit-store round-trips, result assembly) as JSON lines; the "
+        "first line is a schema header",
+    )
+    _add_metrics_argument(audit)
+    audit.add_argument(
         "--verbose",
         action="store_true",
-        help="print incremental-replay unit hit/miss counts to stderr "
-        "(how many trace units were served from the unit-result cache "
-        "vs recomputed)",
+        help="print a one-line run summary (traces, degraded units, store "
+        "hits, wall time) plus incremental-replay unit hit/miss counts "
+        "to stderr",
     )
     audit.set_defaults(func=cmd_audit)
 
@@ -1048,6 +1141,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_argument(stream)
     stream.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve live telemetry over HTTP on 127.0.0.1:N while the "
+        "stream runs — GET /metrics returns Prometheus text "
+        "exposition, GET /stats a JSON digest of the session; N=0 "
+        "binds an ephemeral port (printed to stderr)",
+    )
+    _add_metrics_argument(stream)
+    stream.add_argument(
         "--json", action="store_true", help="emit a JSON summary at EOF"
     )
     stream.add_argument(
@@ -1078,6 +1182,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_replay_argument(report)
     _add_cache_argument(report)
     _add_fault_arguments(report)
+    _add_metrics_argument(report)
     report.add_argument(
         "artifact",
         choices=(
@@ -1224,6 +1329,7 @@ def build_parser() -> argparse.ArgumentParser:
         "throughput is at least this multiple of its sequential audit "
         "throughput (needs >1 physical core to exceed 1.0)",
     )
+    _add_metrics_argument(bench)
     bench.add_argument(
         "--min-incremental-speedup",
         type=float,

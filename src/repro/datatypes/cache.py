@@ -16,6 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.datatypes.base import Classification, Classifier, batch_classify
+from repro.obs.metrics import REGISTRY
+
+_CACHE_HITS = REGISTRY.counter("repro_classifier_cache_hits_total")
+_CACHE_MISSES = REGISTRY.counter("repro_classifier_cache_misses_total")
 
 
 @dataclass
@@ -44,8 +48,10 @@ class CachingClassifier:
         cached = self._cache.get(text)
         if cached is not None:
             self.hits += 1
+            _CACHE_HITS.inc()
             return cached
         self.misses += 1
+        _CACHE_MISSES.inc()
         verdict = self.inner.classify(text)
         self._cache[text] = verdict
         return verdict
@@ -61,6 +67,7 @@ class CachingClassifier:
         """
         missing: list[str] = []
         pending: set[str] = set()
+        hits_before = self.hits
         for text in texts:
             if text in self._cache or text in pending:
                 self.hits += 1
@@ -68,6 +75,8 @@ class CachingClassifier:
                 pending.add(text)
                 missing.append(text)
                 self.misses += 1
+        _CACHE_HITS.inc(self.hits - hits_before)
+        _CACHE_MISSES.inc(len(missing))
         if missing:
             for verdict in batch_classify(self.inner, missing):
                 self._cache[verdict.text] = verdict

@@ -34,7 +34,14 @@ from pathlib import Path
 from typing import Iterator
 
 from repro.datatypes.base import Classification, Classifier, batch_classify
+from repro.obs.metrics import REGISTRY
 from repro.ontology.nodes import Level3
+
+_STORE_HITS = REGISTRY.counter("repro_store_hits_total")
+_STORE_MISSES = REGISTRY.counter("repro_store_misses_total")
+_STORE_GET_SECONDS = REGISTRY.histogram("repro_store_get_seconds")
+_STORE_PUT_SECONDS = REGISTRY.histogram("repro_store_put_seconds")
+_STORE_DISABLED = REGISTRY.gauge("repro_store_disabled")
 
 STORE_FILENAME = "classifications.sqlite"
 
@@ -695,6 +702,7 @@ class PersistentClassifier:
 
     def _disable(self, exc: StoreError) -> None:
         self._disabled = True
+        _STORE_DISABLED.set(1)
         print(
             f"warning: classification store {self.path} disabled for this "
             f"process: {exc}",
@@ -717,11 +725,15 @@ class PersistentClassifier:
             except StoreError as exc:
                 self._disable(exc)
             finally:
-                self.store_get_s += time.perf_counter() - start
+                elapsed = time.perf_counter() - start
+                self.store_get_s += elapsed
+                _STORE_GET_SECONDS.observe(elapsed)
         self.store_hits += len(found)
+        _STORE_HITS.inc(len(found))
         missing = [text for text in unique if text not in found]
         if missing:
             self.misses += len(missing)
+            _STORE_MISSES.inc(len(missing))
             fresh = batch_classify(self.inner, missing)
             if not self._disabled:
                 start = time.perf_counter()
@@ -730,7 +742,9 @@ class PersistentClassifier:
                 except StoreError as exc:
                     self._disable(exc)
                 finally:
-                    self.store_put_s += time.perf_counter() - start
+                    elapsed = time.perf_counter() - start
+                    self.store_put_s += elapsed
+                    _STORE_PUT_SECONDS.observe(elapsed)
             found.update((verdict.text, verdict) for verdict in fresh)
         return [found[text] for text in texts]
 

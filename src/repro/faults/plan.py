@@ -39,6 +39,15 @@ import os
 from dataclasses import dataclass
 
 from repro.datatypes.store import StoreError
+from repro.obs.metrics import REGISTRY
+
+# Fired-fault accounting, labeled (kind, profile).  Corrupt/stall/store
+# firings increment at their decision site — inside a pool worker that
+# is counting its own work, so the engine ships them home in the packed
+# shard snapshot.  Kill firings cannot be counted here: the worker
+# ``os._exit``\\ s with its registry, so the engine's retry loop counts
+# them parent-side by replaying the (pure) decision.
+FAULTS_FIRED = REGISTRY.counter("repro_faults_fired_total")
 
 #: CLI-facing fault profiles (``--inject-faults``), name → description.
 #: ``chaos`` layers every family at once — including the data-fault
@@ -109,7 +118,13 @@ class FaultPlan:
     def corrupt_unit(self, unit_name: str) -> bool:
         """Should this trace unit be treated as a corrupt artifact?"""
         rates = self.rates
-        return rates.corrupt > 0 and self._fraction("corrupt", unit_name) < rates.corrupt
+        fired = (
+            rates.corrupt > 0
+            and self._fraction("corrupt", unit_name) < rates.corrupt
+        )
+        if fired:
+            FAULTS_FIRED.labels("corrupt-unit", self.profile).inc()
+        return fired
 
     # -- worker faults -------------------------------------------------
 
@@ -133,6 +148,7 @@ class FaultPlan:
         key = f"{service}:{part}"
         if self._fraction("stall", key) >= rates.stall:
             return 0.0
+        FAULTS_FIRED.labels("slow-worker", self.profile).inc()
         return rates.stall_max_s * (0.2 + 0.8 * self._fraction("stall-length", key))
 
     # -- store faults --------------------------------------------------
@@ -180,6 +196,7 @@ class FlakyStore:
         def flaky(*args, **kwargs):
             self._calls += 1
             if self._plan.store_fault(name, self._calls):
+                FAULTS_FIRED.labels("flaky-store", self._plan.profile).inc()
                 raise StoreError(
                     f"injected transient store fault ({name} call "
                     f"#{self._calls}, profile {self._plan.profile!r}, "

@@ -375,6 +375,56 @@ class PackedResultCoverageRule(AstRule):
                 )
 
 
+class AtomicWriteRule(AstRule):
+    """X-ATOMIC: artifacts must not be written with raw Path writes.
+
+    A raw ``Path.write_text`` / ``Path.write_bytes`` truncates the
+    destination before the new bytes land: a crash (or SIGKILL — the
+    exact scenario the resumable-audit machinery exists for) in the
+    window leaves a torn file that poisons the next run.  Everything
+    the pipeline writes goes through
+    ``repro.fsutil.atomic_write_text`` / ``atomic_write_bytes``
+    (temp + fsync + rename); writes that are genuinely fine torn
+    (test fixtures, deliberate corruption) say why in a suppression.
+    """
+
+    rule_id = "X-ATOMIC"
+    severity = "error"
+    summary = (
+        "raw Path.write_text/write_bytes — truncate-then-write leaves "
+        "a torn file behind on a crash mid-write"
+    )
+    hint = (
+        "write through repro.fsutil.atomic_write_text/atomic_write_bytes"
+    )
+
+    _WRITERS = frozenset({"write_text", "write_bytes"})
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        # Production code only: tests write fixtures raw on purpose,
+        # and fsutil implements the atomic primitive itself.
+        return module.rel.startswith("src/") and not module.rel.endswith(
+            "fsutil.py"
+        )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in self._WRITERS
+            ):
+                continue
+            yield self.finding(
+                module.rel,
+                node.lineno,
+                node.col_offset + 1,
+                f"raw .{func.attr}() is not crash-safe",
+            )
+
+
 ALL = (
     MutableDefaultRule(),
     GlobalMutationRule(),
@@ -383,4 +433,5 @@ ALL = (
     SwallowedExceptionRule(),
     PoolDataclassSlotsRule(),
     PackedResultCoverageRule(),
+    AtomicWriteRule(),
 )

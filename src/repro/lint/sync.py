@@ -355,12 +355,53 @@ class BenchSchemaRule(ProjectRule):
                 )
 
 
+class MetricCatalogRule(ProjectRule):
+    """S-METRIC-DOC: every cataloged telemetry metric is documented.
+
+    The metrics registry refuses to create a metric that is not in
+    :data:`repro.obs.catalog.CATALOG`, and this rule closes the loop
+    the other way: a cataloged name that never shows up (as an
+    inline-code token) in ``docs/observability.md`` is invisible to
+    anyone deciding what to scrape or alert on.
+    """
+
+    rule_id = "S-METRIC-DOC"
+    severity = "error"
+    summary = (
+        "a cataloged telemetry metric is missing from "
+        "docs/observability.md"
+    )
+    hint = "document the metric in the docs/observability.md catalog table"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        from repro.obs.catalog import CATALOG
+
+        path = project.root / "docs" / "observability.md"
+        if not path.exists():
+            yield self.finding(
+                "docs/observability.md",
+                1,
+                1,
+                "docs/observability.md is missing",
+            )
+            return
+        text = path.read_text(encoding="utf-8")
+        rel = project.rel(path)
+        documented = set(FIELD_TOKEN.findall(text))
+        for name in CATALOG:
+            if name not in documented:
+                yield self.finding(
+                    rel, 1, 1, f"metric `{name}` is not documented"
+                )
+
+
 #: The docs-facing subset — what ``tools/check_docs.py`` runs.
 DOC_RULES = (
     DocReferenceRule(),
     CliReferenceRule(),
     NamedProfileRule(),
     BenchSchemaRule(),
+    MetricCatalogRule(),
 )
 
 ALL = (StageNameRule(),) + DOC_RULES

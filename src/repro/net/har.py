@@ -15,6 +15,7 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.fsutil import atomic_write_text
 from repro.net.http import Header, HttpRequest, HttpResponse
 from repro.net.url import parse_url
 
@@ -208,7 +209,7 @@ def har_from_json(doc: dict) -> Har:
 
 def write_har(har: Har, path: str | Path) -> None:
     """Write a HAR file to disk (UTF-8 JSON)."""
-    Path(path).write_text(json.dumps(har_to_json(har), indent=1), encoding="utf-8")
+    atomic_write_text(Path(path), json.dumps(har_to_json(har), indent=1))
 
 
 def read_har(path: str | Path) -> Har:

@@ -11,6 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.net.url import Url, parse_url
+from repro.obs.metrics import REGISTRY
+
+_REQUESTS = REGISTRY.counter("repro_http_requests_total")
 
 
 class HttpParseError(ValueError):
@@ -175,6 +178,7 @@ def scan_request_stream(
                 http_version=version,
             )
         )
+        _REQUESTS.inc()
         position = end
     return requests, position, False
 

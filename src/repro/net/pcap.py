@@ -26,6 +26,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, NamedTuple
 
+from repro.fsutil import atomic_write_bytes
+from repro.obs.metrics import REGISTRY
+
+# Bound once at import: the per-record fast path is a single
+# attribute add on these handles.
+_PACKETS = REGISTRY.counter("repro_pcap_packets_total")
+_BYTES = REGISTRY.counter("repro_pcap_bytes_total")
+
 MAGIC_LE = 0xA1B2C3D4
 LINKTYPE_ETHERNET = 1
 _GLOBAL_HEADER = struct.Struct("<IHHiIII")
@@ -179,6 +187,8 @@ class PcapReader:
             position += record_size
             if position + caplen > end:
                 raise PcapError("truncated record body")
+            _PACKETS.inc()
+            _BYTES.inc(caplen)
             yield PcapRecord(
                 timestamp=seconds + fraction / divisor,
                 data=view[position : position + caplen],
@@ -266,7 +276,7 @@ class PcapFile:
         )
 
     def write(self, path: str | Path) -> None:
-        Path(path).write_bytes(self.to_bytes())
+        atomic_write_bytes(Path(path), self.to_bytes())
 
     @classmethod
     def read(cls, path: str | Path) -> "PcapFile":

@@ -17,6 +17,10 @@ from repro.net.packet import (
     TcpHeader,
     TcpSegment,
 )
+from repro.obs.metrics import REGISTRY
+
+_SEGMENTS = REGISTRY.counter("repro_tcp_segments_total")
+_PAYLOAD_BYTES = REGISTRY.counter("repro_tcp_payload_bytes_total")
 
 DEFAULT_MSS = 1400
 
@@ -211,6 +215,7 @@ class TcpReassembler:
 
     def add_segment(self, segment: TcpSegment) -> None:
         """Feed one decode-path :class:`TcpSegment` (the hot path)."""
+        _SEGMENTS.inc()
         flow = FlowId(
             client_ip=segment.src_ip,
             client_port=segment.src_port,
@@ -248,6 +253,7 @@ class TcpReassembler:
             state.segments[segment.seq] = segment.payload
             state.pending += len(segment.payload)
             self._buffered += len(segment.payload)
+            _PAYLOAD_BYTES.inc(len(segment.payload))
             self._compact(state)
 
     def _compact(self, state: _FlowState) -> None:

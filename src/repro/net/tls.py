@@ -23,6 +23,12 @@ import struct
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.fsutil import atomic_write_text
+from repro.obs.metrics import REGISTRY
+
+_RECORDS = REGISTRY.counter("repro_tls_records_total")
+_PLAINTEXT_BYTES = REGISTRY.counter("repro_tls_plaintext_bytes_total")
+
 RECORD_TYPE_APPDATA = 23
 RECORD_VERSION = 0x0303
 MAX_RECORD_LEN = 16384
@@ -181,6 +187,8 @@ def decrypt_record(body, session: TlsSession, offset: int) -> bytes:
     keystream = _keystream(
         session.secret, session.client_random + _U64.pack(offset), len(body)
     )
+    _RECORDS.inc()
+    _PLAINTEXT_BYTES.inc(len(body))
     return _xor(body, keystream)
 
 
@@ -254,7 +262,7 @@ class KeyLog:
         return log
 
     def write(self, path: str | Path) -> None:
-        Path(path).write_text(self.to_text(), encoding="ascii")
+        atomic_write_text(Path(path), self.to_text(), encoding="ascii")
 
     @classmethod
     def read(cls, path: str | Path) -> "KeyLog":

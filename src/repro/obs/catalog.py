@@ -1,0 +1,261 @@
+"""The metric-name catalog: the single source of truth for telemetry.
+
+Every metric the pipeline emits is declared here, once, with its
+type, help string, and label names.  The registry refuses to create a
+metric that is not cataloged, and the ``S-METRIC-DOC`` lint rule
+cross-checks that every cataloged name appears (as an inline-code
+token) in ``docs/observability.md`` — the same code/docs-sync
+contract the profile stages and BENCH schema already live under.
+
+Naming follows Prometheus conventions: ``repro_`` prefix, snake_case,
+``_total`` suffix on counters, ``_bytes``/``_seconds`` units spelled
+out.  Label sets are deliberately tiny (executor kind, stage name,
+fault kind/profile) so cardinality stays bounded by closed sets the
+code already defines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The metric types the registry implements (Prometheus core set
+#: minus Summary, which Histogram subsumes for our purposes).
+METRIC_TYPES = ("counter", "gauge", "histogram")
+
+
+@dataclass(frozen=True, slots=True)
+class MetricSpec:
+    """One cataloged metric: its name, type, help text, and labels."""
+
+    name: str
+    type: str
+    help: str
+    labels: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.type not in METRIC_TYPES:
+            raise ValueError(
+                f"metric {self.name!r}: unknown type {self.type!r} "
+                f"(expected one of {METRIC_TYPES})"
+            )
+
+
+_SPECS = (
+    # ------------------------------------------------------------------
+    # Decode layer (net/): bytes and records through each protocol hop.
+    # ------------------------------------------------------------------
+    MetricSpec(
+        "repro_pcap_packets_total",
+        "counter",
+        "Packets parsed from pcap byte streams.",
+    ),
+    MetricSpec(
+        "repro_pcap_bytes_total",
+        "counter",
+        "Capture bytes parsed from pcap byte streams.",
+    ),
+    MetricSpec(
+        "repro_tcp_segments_total",
+        "counter",
+        "TCP segments fed to stream reassembly.",
+    ),
+    MetricSpec(
+        "repro_tcp_payload_bytes_total",
+        "counter",
+        "TCP payload bytes accepted by stream reassembly.",
+    ),
+    MetricSpec(
+        "repro_tls_records_total",
+        "counter",
+        "TLS records decrypted.",
+    ),
+    MetricSpec(
+        "repro_tls_plaintext_bytes_total",
+        "counter",
+        "Plaintext bytes recovered from TLS records.",
+    ),
+    MetricSpec(
+        "repro_http_requests_total",
+        "counter",
+        "HTTP requests recovered from decrypted streams.",
+    ),
+    # ------------------------------------------------------------------
+    # Engine (pipeline/engine.py): shard dispatch, incremental reuse,
+    # and the fault-recovery machinery from PR 9.
+    # ------------------------------------------------------------------
+    MetricSpec(
+        "repro_engine_runs_total",
+        "counter",
+        "Audit engine runs started, by executor kind.",
+        labels=("executor",),
+    ),
+    MetricSpec(
+        "repro_engine_tasks_dispatched_total",
+        "counter",
+        "Shard tasks dispatched to the executor.",
+    ),
+    MetricSpec(
+        "repro_engine_units_cached_total",
+        "counter",
+        "Trace units reused from cached unit results (incremental hits).",
+    ),
+    MetricSpec(
+        "repro_engine_units_dirty_total",
+        "counter",
+        "Trace units recomputed because content digests changed.",
+    ),
+    MetricSpec(
+        "repro_engine_queue_depth",
+        "gauge",
+        "Shard tasks submitted but not yet completed (high water per run).",
+    ),
+    MetricSpec(
+        "repro_engine_shard_retries_total",
+        "counter",
+        "Shard attempts retried after a worker crash.",
+    ),
+    MetricSpec(
+        "repro_engine_shard_crashes_total",
+        "counter",
+        "Pool generations broken by a worker crash (process executor).",
+    ),
+    MetricSpec(
+        "repro_engine_bisection_probes_total",
+        "counter",
+        "Single-unit probes run while isolating poison units.",
+    ),
+    MetricSpec(
+        "repro_engine_degraded_units_total",
+        "counter",
+        "Trace units that completed degraded instead of failing the run.",
+    ),
+    # ------------------------------------------------------------------
+    # Span tracing: every span lands here as well as in the JSONL sink.
+    # ------------------------------------------------------------------
+    MetricSpec(
+        "repro_spans_total",
+        "counter",
+        "Spans closed, by span (stage) name.",
+        labels=("name",),
+    ),
+    MetricSpec(
+        "repro_span_seconds_total",
+        "counter",
+        "Total wall time spent inside spans, by span (stage) name.",
+        labels=("name",),
+    ),
+    # ------------------------------------------------------------------
+    # Classification store (datatypes/): persistent + in-memory caches.
+    # ------------------------------------------------------------------
+    MetricSpec(
+        "repro_store_hits_total",
+        "counter",
+        "Persistent classification store key hits.",
+    ),
+    MetricSpec(
+        "repro_store_misses_total",
+        "counter",
+        "Persistent classification store key misses.",
+    ),
+    MetricSpec(
+        "repro_store_unit_hits_total",
+        "counter",
+        "Unit-result store hits (whole trace units reused).",
+    ),
+    MetricSpec(
+        "repro_store_get_seconds",
+        "histogram",
+        "Latency of classification store batch reads.",
+    ),
+    MetricSpec(
+        "repro_store_put_seconds",
+        "histogram",
+        "Latency of classification store batch writes.",
+    ),
+    MetricSpec(
+        "repro_store_disabled",
+        "gauge",
+        "1 when the store degraded itself off after an I/O failure.",
+    ),
+    MetricSpec(
+        "repro_classifier_cache_hits_total",
+        "counter",
+        "In-memory classifier cache hits.",
+    ),
+    MetricSpec(
+        "repro_classifier_cache_misses_total",
+        "counter",
+        "In-memory classifier cache misses.",
+    ),
+    # ------------------------------------------------------------------
+    # Stream sessions (stream/): the live view ROADMAP 3 asks for.
+    # ------------------------------------------------------------------
+    MetricSpec(
+        "repro_stream_traces_total",
+        "counter",
+        "Packet traces consumed by stream sessions.",
+    ),
+    MetricSpec(
+        "repro_stream_packets_total",
+        "counter",
+        "Packets consumed by stream sessions.",
+    ),
+    MetricSpec(
+        "repro_stream_flows_live",
+        "gauge",
+        "Flow pipelines currently resident in the incremental decoder.",
+    ),
+    MetricSpec(
+        "repro_stream_buffered_bytes",
+        "gauge",
+        "Reassembly bytes currently buffered across live flows.",
+    ),
+    MetricSpec(
+        "repro_stream_high_water_bytes",
+        "gauge",
+        "Largest buffered-byte footprint seen by any decoder this session.",
+    ),
+    MetricSpec(
+        "repro_stream_evictions_total",
+        "counter",
+        "Flow pipelines evicted by the idle/byte-budget policy.",
+    ),
+    MetricSpec(
+        "repro_stream_snapshots_total",
+        "counter",
+        "Periodic snapshots taken by stream sessions.",
+    ),
+    # ------------------------------------------------------------------
+    # Fault injection (faults/): what the chaos profiles actually did.
+    # ------------------------------------------------------------------
+    MetricSpec(
+        "repro_faults_fired_total",
+        "counter",
+        "Injected faults fired, by fault kind and plan profile.",
+        labels=("kind", "profile"),
+    ),
+)
+
+#: name → spec, in declaration order (dict preserves insertion order;
+#: rendering sorts by name anyway).
+CATALOG: dict[str, MetricSpec] = {spec.name: spec for spec in _SPECS}
+
+if len(CATALOG) != len(_SPECS):  # pragma: no cover - guarded by tests
+    raise RuntimeError("duplicate metric name in the catalog")
+
+
+def spec_for(name: str) -> MetricSpec:
+    """Look up a cataloged metric, or fail loudly.
+
+    The catalog is the contract: an uncataloged metric would be
+    invisible to ``docs/observability.md`` and to the ``S-METRIC-DOC``
+    lint rule, so creating one is an error, not a convenience.
+    """
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"metric {name!r} is not in repro.obs.catalog.CATALOG — "
+            "declare it there (and document it in docs/observability.md) "
+            "before registering it"
+        ) from None

@@ -1,0 +1,106 @@
+"""Live metrics endpoint: ``/metrics`` (Prometheus text) + ``/stats``.
+
+A tiny stdlib HTTP server on a daemon thread, bound to loopback by
+default, serving whatever registry (and optional stats callable) the
+owning session hands it.  This is the scrape surface ROADMAP item 3's
+multi-session daemon will sit behind; for now ``repro stream
+--metrics-port N`` owns one for the life of the session.
+
+The server is strictly read-only and strictly observational: handlers
+never touch session state beyond calling the provided callables, so a
+scrape can never perturb audit output.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Mapping
+
+from repro.obs.metrics import CONTENT_TYPE, REGISTRY, MetricsRegistry
+
+
+class MetricsServer:
+    """Serve one registry (and optional live stats) over HTTP."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        stats_fn: Callable[[], Mapping] | None = None,
+    ) -> None:
+        self.registry = REGISTRY if registry is None else registry
+        self.stats_fn = stats_fn
+        self._httpd = ThreadingHTTPServer(
+            (host, port), self._handler_class()
+        )
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful when constructed with port 0)."""
+        return self._httpd.server_address[1]
+
+    def _handler_class(self) -> type[BaseHTTPRequestHandler]:
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
+                    body = server.registry.render_prometheus().encode("utf-8")
+                    self._reply(200, CONTENT_TYPE, body)
+                elif path == "/stats":
+                    stats = (
+                        dict(server.stats_fn())
+                        if server.stats_fn is not None
+                        else {}
+                    )
+                    document = {
+                        "stats": stats,
+                        "metrics": server.registry.snapshot(),
+                    }
+                    body = (
+                        json.dumps(document, sort_keys=True) + "\n"
+                    ).encode("utf-8")
+                    self._reply(200, "application/json", body)
+                else:
+                    self._reply(
+                        404, "text/plain; charset=utf-8", b"not found\n"
+                    )
+
+            def _reply(
+                self, status: int, content_type: str, body: bytes
+            ) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format: str, *args: object) -> None:
+                """Scrapes are routine; stay quiet on stderr."""
+
+        return Handler
+
+    def start(self) -> int:
+        """Serve on a daemon thread; returns the bound port."""
+        if self._thread is not None:
+            raise RuntimeError("metrics server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

@@ -1,0 +1,189 @@
+"""Lightweight span tracing: where the audit's wall time actually goes.
+
+A span is one named region of work — ``with recorder.span("decode"):``
+— measured with a monotonic clock and recorded as a structured event.
+The recorder accumulates per-name totals (the view the stage profiler
+exposes) and optionally retains every event for a JSONL sidecar, so
+profile documents are now a *projection* of spans rather than a
+separate timing system.
+
+Determinism: the clock seam is injectable and defaults to
+:func:`time.perf_counter`, which measures durations without ever
+reading the date — the sanctioned monotonic source under the D-NOW
+lint rule.  Span *durations* are inherently run-dependent; they only
+ever land in sidecars (profiles, span logs, metrics), never in audit
+output.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator, Mapping
+
+from repro.fsutil import atomic_write_text
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+
+SPAN_SCHEMA_VERSION = 1
+
+
+@dataclass(slots=True)
+class SpanEvent:
+    """One closed span: name, offsets from recorder start, attributes."""
+
+    name: str
+    start_s: float
+    duration_s: float
+    attrs: dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        event: dict[str, object] = {
+            "name": self.name,
+            "start_s": round(self.start_s, 6),
+            "duration_s": round(self.duration_s, 6),
+        }
+        if self.attrs:
+            event["attrs"] = {
+                key: self.attrs[key] for key in sorted(self.attrs)
+            }
+        return event
+
+
+class SpanRecorder:
+    """Accumulates spans: totals always, full events on request.
+
+    ``retain_events=False`` (the default for the hot path) keeps only
+    the per-name duration totals and counts — the stage profiler's
+    view.  ``retain_events=True`` keeps every :class:`SpanEvent` for
+    ``--spans-out`` JSONL sidecars.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        retain_events: bool = False,
+        metrics: MetricsRegistry | None = None,
+        sink: "SpanRecorder | None" = None,
+    ) -> None:
+        self._clock = clock
+        self._origin = clock()
+        self._retain = retain_events
+        self._metrics = REGISTRY if metrics is None else metrics
+        # An optional event sink: every closed span is ALSO appended
+        # (events only — totals and metrics stay local, so nothing is
+        # double-counted) to the sink's event list, with offsets
+        # rebased to the sink's origin.  This is how several scoped
+        # recorders (the engine's orchestration timer, the unit-store
+        # timer) feed one --spans-out stream.
+        self._sink = sink if sink is not None and sink._retain else None
+        self.events: list[SpanEvent] = []
+        self.totals: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[None]:
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self.record(name, self._clock() - start, start=start, **attrs)
+
+    def record(
+        self,
+        name: str,
+        duration_s: float,
+        start: float | None = None,
+        **attrs: object,
+    ) -> None:
+        """Close a span by hand (merges and replays use this)."""
+        self.totals[name] = self.totals.get(name, 0.0) + duration_s
+        self.counts[name] = self.counts.get(name, 0) + 1
+        self._metrics.counter("repro_spans_total").labels(name).inc()
+        self._metrics.counter("repro_span_seconds_total").labels(name).inc(
+            max(duration_s, 0.0)
+        )
+        if self._retain or self._sink is not None:
+            if start is None:
+                # Manual record() without a start reading: place the
+                # span as ending now (perf_counter is process-wide, so
+                # the rebased sink offset stays meaningful).
+                start = self._clock() - duration_s
+            if self._retain:
+                self.events.append(
+                    SpanEvent(
+                        name=name,
+                        start_s=(start - self._origin),
+                        duration_s=duration_s,
+                        attrs=dict(attrs),
+                    )
+                )
+            if self._sink is not None:
+                self._sink.events.append(
+                    SpanEvent(
+                        name=name,
+                        start_s=(start - self._sink._origin),
+                        duration_s=duration_s,
+                        attrs=dict(attrs),
+                    )
+                )
+
+    def merge(self, other: Mapping[str, float]) -> None:
+        """Fold a plain name→seconds table (a shard's) into totals.
+
+        Merging does NOT re-emit span metrics: a shard's stage table
+        was already counted where the spans actually closed (in the
+        worker, whose registry ships back separately), so emitting
+        here would double-count every merged stage.
+        """
+        for name, seconds in other.items():
+            self.totals[name] = self.totals.get(name, 0.0) + seconds
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def get(self, name: str) -> float:
+        return self.totals.get(name, 0.0)
+
+    def as_dict(self) -> dict[str, float]:
+        """Totals, rounded and sorted — stable JSON output."""
+        return {
+            name: round(seconds, 6)
+            for name, seconds in sorted(self.totals.items())
+        }
+
+    def write_jsonl(self, path: Path | str) -> Path:
+        """Write retained events as one JSON document per line.
+
+        The first line is a schema header so a reader can reject
+        foreign files; events follow in close order.
+        """
+        lines = [
+            json.dumps(
+                {"version": SPAN_SCHEMA_VERSION, "events": len(self.events)},
+                sort_keys=True,
+            )
+        ]
+        lines.extend(
+            json.dumps(event.as_dict(), sort_keys=True)
+            for event in self.events
+        )
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        return atomic_write_text(path, "\n".join(lines) + "\n")
+
+
+@contextmanager
+def span(name: str, **attrs: object) -> Iterator[None]:
+    """Module-level convenience over a shared recorder.
+
+    Totals land in the default metrics registry
+    (``repro_spans_total`` / ``repro_span_seconds_total``); callers
+    that need a JSONL sidecar construct their own
+    :class:`SpanRecorder` with ``retain_events=True``.
+    """
+    with _DEFAULT.span(name, **attrs):
+        yield
+
+
+_DEFAULT = SpanRecorder()

@@ -18,6 +18,7 @@ from repro.capture.decrypt import decrypt_mobile_artifact
 from repro.capture.devtools import DevToolsCapture
 from repro.capture.pcapdroid import PcapdroidCapture
 from repro.capture.proxyman import ProxymanCapture
+from repro.fsutil import atomic_write_bytes, atomic_write_text
 from repro.model import Platform
 from repro.net.har import Har, har_from_json, har_to_json, write_har
 from repro.net.http import HttpRequest
@@ -150,8 +151,8 @@ class CorpusProcessor:
         meta, pcap, keylog_text = self.capture_mobile(trace)
         pcap_bytes = pcap.to_bytes()
         if self.artifacts_dir is not None:
-            (self.artifacts_dir / f"{meta.name}.pcap").write_bytes(pcap_bytes)
-            (self.artifacts_dir / f"{meta.name}.keylog").write_text(keylog_text)
+            atomic_write_bytes(self.artifacts_dir / f"{meta.name}.pcap", pcap_bytes)
+            atomic_write_text(self.artifacts_dir / f"{meta.name}.keylog", keylog_text)
         return parsed_trace_from_mobile(meta, pcap_bytes, keylog_text)
 
     def process_trace(self, trace: RawTrace) -> ParsedTrace:

@@ -115,6 +115,11 @@ class DiffAudit:
     # Seeded fault-injection plan (``--inject-faults``); None in
     # normal operation.  See repro.faults.
     faults: object | None = None
+    # Optional retained-event span recorder (``--spans-out FILE``):
+    # engine orchestration spans plus this orchestrator's own
+    # ``assemble`` span are mirrored into it for a JSONL sidecar.
+    # Observational only — results are byte-identical either way.
+    span_sink: object | None = None
 
     def engine(self) -> AuditEngine:
         """The shard/process/merge engine this run is configured for.
@@ -139,6 +144,7 @@ class DiffAudit:
             incremental=self.incremental,
             keep_going=self.keep_going,
             faults=self.faults,
+            span_sink=self.span_sink,
         )
 
     def run(self) -> DiffAuditResult:
@@ -162,6 +168,10 @@ class DiffAudit:
             self.config, merged, engine.entity_db, engine.blocklists
         )
         end = time.perf_counter()
+        if self.span_sink is not None:
+            self.span_sink.record(
+                "assemble", end - downstream_start, start=downstream_start
+            )
         profile = profile_document(
             workload="audit",
             wall_time_s=end - start,

@@ -72,9 +72,11 @@ from repro.datatypes.store import (
 from repro.destinations.blocklists import BlockListCollection
 from repro.destinations.entities import EntityDatabase
 from repro.destinations.party import DestinationLabeler
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import FAULTS_FIRED, FaultPlan
 from repro.flows.builder import FlowBuilder
 from repro.flows.dataflow import FlowObservation, FlowTable
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import SpanRecorder
 from repro.pipeline.corpus import CorpusProcessor, ParsedTrace
 from repro.pipeline.dataset import DatasetSummary
 from repro.pipeline.profile import StageTimer
@@ -93,6 +95,20 @@ from repro.pipeline.replay import (
 )
 from repro.services.catalog import ServiceSpec
 from repro.services.generator import CorpusConfig
+
+# Engine telemetry (see docs/observability.md).  Bound once; every
+# increment is a plain attribute add.  Instrumentation is
+# observational only — nothing here feeds back into results.
+_RUNS = REGISTRY.counter("repro_engine_runs_total")
+_TASKS_DISPATCHED = REGISTRY.counter("repro_engine_tasks_dispatched_total")
+_UNITS_CACHED = REGISTRY.counter("repro_engine_units_cached_total")
+_UNITS_DIRTY = REGISTRY.counter("repro_engine_units_dirty_total")
+_UNIT_STORE_HITS = REGISTRY.counter("repro_store_unit_hits_total")
+_QUEUE_DEPTH = REGISTRY.gauge("repro_engine_queue_depth")
+_SHARD_RETRIES = REGISTRY.counter("repro_engine_shard_retries_total")
+_SHARD_CRASHES = REGISTRY.counter("repro_engine_shard_crashes_total")
+_BISECTION_PROBES = REGISTRY.counter("repro_engine_bisection_probes_total")
+_DEGRADED_UNITS = REGISTRY.counter("repro_engine_degraded_units_total")
 
 
 @dataclass(slots=True)
@@ -592,6 +608,11 @@ class PackedShardResult:
     # Quarantined units travel as-is: a handful at most, each a small
     # frozen record — not worth interning.
     degraded: tuple = ()
+    # Worker-side metrics snapshot (repro.obs): populated only when
+    # the shard actually ran in a pool worker, absorbed parent-side in
+    # canonical task order, and stripped before unit-result caching —
+    # a cached unit's metrics describe work THIS run never did.
+    metrics: dict | None = None
 
     def unpack(self) -> ShardResult:
         pool = self.pool
@@ -683,8 +704,24 @@ def pack_shard_result(result: ShardResult) -> PackedShardResult:
 
 
 def _process_shard_packed(task: ShardTask) -> PackedShardResult:
-    """Pool-worker entry point: process a shard, ship it packed."""
-    return pack_shard_result(process_shard(task))
+    """Pool-worker entry point: process a shard, ship it packed.
+
+    In a real pool worker the task's metrics delta rides back on the
+    packed result: the worker registry is reset before the task (pool
+    workers run tasks serially, so the end-of-task snapshot IS the
+    delta) and absorbed parent-side in canonical order.  When this
+    function runs in the *parent* (single-task shortcut, crash
+    recovery fallback) the increments already landed in the parent
+    registry — resetting it would destroy the run's telemetry, so no
+    snapshot ships.
+    """
+    in_pool_worker = multiprocessing.parent_process() is not None
+    if in_pool_worker:
+        REGISTRY.reset()
+    packed = pack_shard_result(process_shard(task))
+    if in_pool_worker:
+        packed.metrics = REGISTRY.snapshot()
+    return packed
 
 
 # ----------------------------------------------------------------------
@@ -1102,6 +1139,7 @@ class ProcessPoolShardExecutor:
             if not pending:
                 break
             if attempt:
+                _SHARD_RETRIES.inc(len(pending))
                 time.sleep(
                     min(self.retry_backoff_s * (2 ** (attempt - 1)), 1.0)
                 )
@@ -1110,6 +1148,24 @@ class ProcessPoolShardExecutor:
                 for index in pending:
                     task = current[index]
                     if isinstance(task, ShardTask):
+                        # A killed worker takes its metrics registry
+                        # with it, so injected kills are accounted here
+                        # instead, by replaying the plan's pure decision
+                        # for the attempt that just crashed (mirroring
+                        # _apply_worker_faults: poison fires first).
+                        faults = task.faults
+                        if faults is not None:
+                            poison = faults.poison_unit
+                            poisoned = poison is not None and any(
+                                unit.meta.name == poison
+                                for unit in task.replay_units or ()
+                            )
+                            if poisoned or faults.kill_worker(
+                                task.service, task.part, task.fault_attempt
+                            ):
+                                FAULTS_FIRED.labels(
+                                    "kill-worker", faults.profile
+                                ).inc()
                         current[index] = dataclasses.replace(
                             task, fault_attempt=attempt
                         )
@@ -1153,9 +1209,11 @@ class ProcessPoolShardExecutor:
             max_workers=workers, initializer=_worker_ignores_interrupt
         ) as pool:
             futures = {pool.submit(work, slots[i]): i for i in submission}
+            _QUEUE_DEPTH.set(len(futures))
             try:
                 for future in as_completed(futures):
                     index = futures[future]
+                    _QUEUE_DEPTH.dec()
                     try:
                         results[index] = future.result()
                     except BrokenProcessPool:
@@ -1174,6 +1232,11 @@ class ProcessPoolShardExecutor:
                 for process in processes:
                     process.terminate()
                 raise
+        _QUEUE_DEPTH.set(0)
+        if failed:
+            # However many futures one dead worker poisoned, the pool
+            # broke once this generation.
+            _SHARD_CRASHES.inc()
         return sorted(failed)
 
 
@@ -1216,15 +1279,18 @@ class ThreadPoolShardExecutor:
         results: list = [None] * len(tasks)
         with ThreadPoolExecutor(max_workers=workers) as pool:
             futures = {pool.submit(work, tasks[i]): i for i in submission}
+            _QUEUE_DEPTH.set(len(futures))
             try:
                 for future in as_completed(futures):
                     index = futures[future]
+                    _QUEUE_DEPTH.dec()
                     results[index] = future.result()
                     _invoke_on_result(on_result, index, results[index])
             # repro-lint: disable=X-BARE-EXCEPT — teardown guard: cancel queued shards on ANY interrupt, then re-raise unchanged
             except BaseException:
                 pool.shutdown(wait=False, cancel_futures=True)
                 raise
+        _QUEUE_DEPTH.set(0)
         return results
 
 
@@ -1295,6 +1361,7 @@ def _isolate_poison_units(task: ShardTask, work: Callable) -> list[TraceUnit]:
         # would let the poison half's crash poison the clean sibling's
         # pending future (BrokenProcessPool taints every in-flight
         # future), and a clean unit would get blamed at singleton depth.
+        _BISECTION_PROBES.inc()
         if isinstance(probe.map_shards([half], work=work)[0], ShardCrash):
             poisons.extend(_isolate_poison_units(half, work))
     return poisons
@@ -1378,6 +1445,13 @@ class AuditEngine:
     # Seeded fault-injection plan (``--inject-faults PROFILE``); None
     # in normal operation.
     faults: FaultPlan | None = None
+    # Optional retained-event span recorder (``--spans-out FILE``):
+    # the engine's orchestration and unit-store spans are mirrored
+    # into it (events only — totals and metrics stay on the scoped
+    # recorders, so profiles and counters are unchanged).  Worker-side
+    # shard spans cannot cross the process boundary as events; their
+    # durations still arrive via stage tables and metric snapshots.
+    span_sink: "SpanRecorder | None" = None
 
     def __post_init__(self) -> None:
         # Remember which components are the defaults BEFORE resolving
@@ -1592,6 +1666,7 @@ class AuditEngine:
                 if payload is not None and packed is None:
                     corrupt.append(digest)
                 if packed is not None:
+                    _UNIT_STORE_HITS.inc()
                     slots.append(packed)
                     continue
                 slots.append(None)
@@ -1643,6 +1718,11 @@ class AuditEngine:
             )
             if packed.degraded:
                 return
+            if packed.metrics is not None:
+                # Never persist telemetry: a later run merging this
+                # unit from cache did none of the work the snapshot
+                # describes.
+                packed = dataclasses.replace(packed, metrics=None)
             with timer.stage("store_put"):
                 try:
                     store.put_unit_results(
@@ -1743,11 +1823,17 @@ class AuditEngine:
                     classifier.inner, classifier.path, faults=classifier.faults
                 )
 
+    def _stage_timer(self) -> StageTimer:
+        """A stage timer, mirroring its spans into ``span_sink``."""
+        if self.span_sink is None:
+            return StageTimer()
+        return StageTimer(SpanRecorder(sink=self.span_sink))
+
     def run(self) -> EngineOutput:
-        timer = StageTimer()
+        timer = self._stage_timer()
         # Engine-side per-shard-stage time (digesting, unit-result
         # store round-trips) — merged into the shards' stage table.
-        unit_stages = StageTimer()
+        unit_stages = self._stage_timer()
         slots: list[PackedShardResult | None] | None = None
         dirty_digests: list[str] = []
         unit_store: ClassificationStore | None = None
@@ -1756,6 +1842,7 @@ class AuditEngine:
             executor = executor_for(
                 self.jobs, self.executor, replay=self.replay is not None
             )
+            _RUNS.labels(executor.kind).inc()
             tasks = self.shard_tasks()
             scope = self._unit_result_scope()
             if scope is not None:
@@ -1792,6 +1879,7 @@ class AuditEngine:
                 else:
                     self._thread_task_classifiers(tasks)
         work = _process_shard_packed if packed else process_shard
+        _TASKS_DISPATCHED.inc(len(tasks))
         # Crash-safe resume: in incremental mode every fresh unit
         # result is flushed to the store the moment its shard
         # completes, so an interrupted run (even SIGKILL) leaves
@@ -1818,6 +1906,16 @@ class AuditEngine:
                     raw.unpack() if raw is not None else None
                     for raw in raw_results
                 ]
+                # Fold worker-side metric deltas into the parent
+                # registry in canonical task order (raw_results is in
+                # input order), so the merged telemetry is the same
+                # whatever order workers finished in.  getattr guards
+                # payloads unpickled from stores written before the
+                # metrics field existed.
+                for raw in raw_results:
+                    shipped = getattr(raw, "metrics", None) if raw else None
+                    if shipped is not None:
+                        REGISTRY.absorb(shipped)
             task_bytes = sum(len(pickle.dumps(task)) for task in tasks)
             result_bytes = sum(
                 len(pickle.dumps(raw)) for raw in raw_results if raw is not None
@@ -1851,6 +1949,9 @@ class AuditEngine:
         with timer.stage("merge"):
             merged = self.merge(results)
         merged.degraded.extend(crash_degraded)
+        _UNITS_CACHED.inc(unit_hits)
+        _UNITS_DIRTY.inc(unit_misses)
+        _DEGRADED_UNITS.inc(len(merged.degraded))
         stages = StageTimer()
         for result in results:
             stages.merge(result.stage_times)
@@ -1868,6 +1969,11 @@ class AuditEngine:
             "task_bytes": task_bytes,
             "result_bytes": result_bytes,
             "stages": stages.as_dict(),
+            # Schema-optional run-summary extras (like unit_hits below):
+            # what the CLI's --verbose one-liner reports without
+            # re-deriving engine state downstream.
+            "traces": merged.trace_count,
+            "store_hits": merged.store_hits,
         }
         if slots is not None:
             # Extra (schema-optional) keys: only incremental runs

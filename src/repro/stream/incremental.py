@@ -328,6 +328,10 @@ class IncrementalTraceDecoder:
         """Payload bytes currently buffered (reassembly + pipelines)."""
         return self._reassembler.buffered_bytes() + self._pipeline_buffered
 
+    def live_flows(self) -> int:
+        """Flow pipelines currently resident (not yet finalized)."""
+        return len(self._pipelines)
+
     # -- eviction -------------------------------------------------------
 
     def _enforce_policy(self) -> None:

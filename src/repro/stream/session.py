@@ -48,9 +48,15 @@ from repro.pipeline.engine import (
     prepare_classifier,
     record_run_stats,
 )
+from repro.obs.metrics import REGISTRY
 from repro.services.generator import CorpusConfig
 from repro.stream.incremental import EvictionPolicy, IncrementalTraceDecoder
 from repro.stream.sources import PacketSource, PacketTrace, TraceDocument
+
+_TRACES = REGISTRY.counter("repro_stream_traces_total")
+_PACKETS = REGISTRY.counter("repro_stream_packets_total")
+_SNAPSHOTS = REGISTRY.counter("repro_stream_snapshots_total")
+_EVICTIONS = REGISTRY.counter("repro_stream_evictions_total")
 
 
 class StreamError(ValueError):
@@ -167,6 +173,29 @@ class StreamAudit:
             )
         self.trace_count = 0
         self.packet_count = 0
+        self.high_water_bytes = 0
+        self.evictions = 0
+        # The live gauges are collect-on-scrape callbacks over whichever
+        # decoder is mid-trace right now (None between traces, so the
+        # gauges read zero when the session is quiescent).  Re-creating
+        # a session re-registers the callbacks, so the newest session
+        # owns the gauges — matching "last writer wins" for plain sets.
+        self._current_decoder: IncrementalTraceDecoder | None = None
+        REGISTRY.gauge_callback(
+            "repro_stream_flows_live",
+            lambda: self._current_decoder.live_flows()
+            if self._current_decoder is not None
+            else 0,
+        )
+        REGISTRY.gauge_callback(
+            "repro_stream_buffered_bytes",
+            lambda: self._current_decoder.buffered_bytes()
+            if self._current_decoder is not None
+            else 0,
+        )
+        REGISTRY.gauge_callback(
+            "repro_stream_high_water_bytes", lambda: self.high_water_bytes
+        )
 
     # -- consuming ------------------------------------------------------
 
@@ -174,10 +203,18 @@ class StreamAudit:
         """Feed one trace event through decode → classify → flow-build."""
         if isinstance(event, PacketTrace):
             decoder = IncrementalTraceDecoder(event.keylog, self.policy)
+            self._current_decoder = decoder
+            packets_before = self.packet_count
             for timestamp, data in event.packets:
                 decoder.feed(timestamp, data)
                 self.packet_count += 1
             decryption = decoder.finish()
+            _PACKETS.inc(self.packet_count - packets_before)
+            self.evictions += decoder.evictions
+            _EVICTIONS.inc(decoder.evictions)
+            if decoder.high_water_bytes > self.high_water_bytes:
+                self.high_water_bytes = decoder.high_water_bytes
+            self._current_decoder = None
             parsed = ParsedTrace(
                 meta=event.meta,
                 requests=[item.request for item in decryption.requests],
@@ -198,6 +235,7 @@ class StreamAudit:
             )
         state.add_trace(parsed)
         self.trace_count += 1
+        _TRACES.inc()
 
     def snapshots(self, source: PacketSource) -> Iterator[EngineOutput]:
         """Drive a source to EOF, yielding a snapshot every
@@ -217,6 +255,7 @@ class StreamAudit:
         snapshot *is* the batch engine output for the corpus consumed
         so far.
         """
+        _SNAPSHOTS.inc()
         merged = AuditEngine.merge(
             [
                 self._services[spec.key].shard_result()

@@ -32,6 +32,7 @@ from repro.lint.determinism import (
 )
 from repro.lint.engine import Finding, load_baseline, write_baseline
 from repro.lint.executor import (
+    AtomicWriteRule,
     BroadExceptRule,
     GlobalMutationRule,
     LruCacheMethodRule,
@@ -45,6 +46,7 @@ from repro.lint.sync import (
     BenchSchemaRule,
     CliReferenceRule,
     DocReferenceRule,
+    MetricCatalogRule,
     NamedProfileRule,
     StageNameRule,
 )
@@ -494,6 +496,52 @@ class TestExecutorRules:
         )
         assert fired == []
 
+    def test_x_atomic_fires_on_raw_writes(self, tmp_path):
+        fired, _ = lint_snippet(
+            tmp_path,
+            """
+            from pathlib import Path
+
+            def export(path, text, blob):
+                Path(path).write_text(text)
+                Path(path).write_bytes(blob)
+            """,
+            AtomicWriteRule(),
+        )
+        assert fired == ["X-ATOMIC", "X-ATOMIC"]
+
+    def test_x_atomic_near_miss_atomic_helpers(self, tmp_path):
+        fired, _ = lint_snippet(
+            tmp_path,
+            """
+            from pathlib import Path
+
+            from repro.fsutil import atomic_write_bytes, atomic_write_text
+
+            def export(path, text, blob):
+                atomic_write_text(Path(path), text)
+                atomic_write_bytes(Path(path), blob)
+            """,
+            AtomicWriteRule(),
+        )
+        assert fired == []
+
+    def test_x_atomic_ignores_tests_and_fsutil(self, tmp_path):
+        code = """
+            from pathlib import Path
+
+            def fixture(path):
+                Path(path).write_text("raw on purpose")
+            """
+        fired, _ = lint_snippet(
+            tmp_path, code, AtomicWriteRule(), rel="tests/test_mod.py"
+        )
+        assert fired == []
+        fired, _ = lint_snippet(
+            tmp_path, code, AtomicWriteRule(), rel="src/repro/fsutil.py"
+        )
+        assert fired == []
+
 
 # ----------------------------------------------------------------------
 # S family fixture pairs
@@ -601,6 +649,34 @@ class TestSyncRules:
     def test_s_bench_doc_fires_when_missing(self, tmp_path):
         result = run_lint(tmp_path, targets=[], rules=[BenchSchemaRule()])
         assert [f.rule for f in result.findings] == ["S-BENCH-DOC"]
+
+    def test_s_metric_doc_fires_when_missing(self, tmp_path):
+        result = run_lint(tmp_path, targets=[], rules=[MetricCatalogRule()])
+        assert [f.rule for f in result.findings] == ["S-METRIC-DOC"]
+        assert "missing" in result.findings[0].message
+
+    def test_s_metric_doc_fires_on_undocumented_metric(self, tmp_path):
+        from repro.obs.catalog import CATALOG
+
+        names = sorted(CATALOG)
+        dropped = names[0]
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "observability.md").write_text(
+            "\n".join(f"`{name}`" for name in names[1:]) + "\n"
+        )
+        result = run_lint(tmp_path, targets=[], rules=[MetricCatalogRule()])
+        assert [f.rule for f in result.findings] == ["S-METRIC-DOC"]
+        assert dropped in result.findings[0].message
+
+    def test_s_metric_doc_near_miss_all_documented(self, tmp_path):
+        from repro.obs.catalog import CATALOG
+
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "observability.md").write_text(
+            "\n".join(f"`{name}`" for name in sorted(CATALOG)) + "\n"
+        )
+        result = run_lint(tmp_path, targets=[], rules=[MetricCatalogRule()])
+        assert result.findings == []
 
     def test_s_rules_clean_on_real_repo(self):
         result = run_lint(REPO_ROOT, targets=[], rules=list(doc_rules()))
